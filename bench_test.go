@@ -1,0 +1,178 @@
+package memscale
+
+// Benchmark harness: one benchmark per paper table/figure. Each
+// benchmark regenerates its table/figure at a reduced scale (2 OS
+// quanta per run instead of 10) and reports the headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` both exercises every
+// experiment end-to-end and prints the reproduced numbers.
+//
+// The figure benchmarks take seconds to minutes each by nature (each
+// runs a grid of full-system simulations); the default 1s benchtime
+// therefore executes most of them exactly once.
+
+import (
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/exp"
+	"memscale/internal/stats"
+	"memscale/internal/workload"
+)
+
+// benchParams returns the reduced experiment scale used by the
+// benchmarks.
+func benchParams() exp.Params {
+	p := exp.DefaultParams()
+	p.Epochs = 1
+	p.TimelineEpochs = 10 // enough to cross apsi's phase change (~40 ms)
+	return p
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2Breakdown(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5EnergySavings(b *testing.B) {
+	// Covers Figures 5 and 6: MemScale on all twelve mixes.
+	p := benchParams()
+	var sys, mem, worst stats.Series
+	for i := 0; i < b.N; i++ {
+		outs, err := p.MemScaleOutcomes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, out := range outs {
+			sys.Add(out.SystemSavings())
+			mem.Add(out.MemorySavings())
+			_, w := out.CPIIncrease()
+			worst.Add(w)
+		}
+	}
+	b.ReportMetric(sys.Mean()*100, "sys-savings-%")
+	b.ReportMetric(mem.Mean()*100, "mem-savings-%")
+	b.ReportMetric(worst.Max()*100, "worst-CPI-%")
+}
+
+func BenchmarkFigure7Timeline(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8Timeline(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9Policies(b *testing.B) {
+	// Covers Figures 9, 10, and 11: the policy-comparison grid.
+	p := benchParams()
+	var best float64
+	var bestName string
+	for i := 0; i < b.N; i++ {
+		grid, names, err := p.PolicyComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range names {
+			var sys stats.Series
+			for _, out := range grid[name] {
+				sys.Add(out.SystemSavings())
+			}
+			if s := sys.Mean(); s > best {
+				best, bestName = s, name
+			}
+		}
+	}
+	b.ReportMetric(best*100, "best-policy-sys-savings-%")
+	b.Logf("best policy: %s", bestName)
+}
+
+func benchSensitivity(b *testing.B, run func(exp.Params) (exp.Report, error)) {
+	b.Helper()
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12Bound(b *testing.B) {
+	benchSensitivity(b, func(p exp.Params) (exp.Report, error) { return p.Figure12() })
+}
+
+func BenchmarkFigure13Channels(b *testing.B) {
+	benchSensitivity(b, func(p exp.Params) (exp.Report, error) { return p.Figure13() })
+}
+
+func BenchmarkFigure14MemFraction(b *testing.B) {
+	benchSensitivity(b, func(p exp.Params) (exp.Report, error) { return p.Figure14() })
+}
+
+func BenchmarkFigure15Proportionality(b *testing.B) {
+	benchSensitivity(b, func(p exp.Params) (exp.Report, error) { return p.Figure15() })
+}
+
+func BenchmarkSensitivityExtra(b *testing.B) {
+	benchSensitivity(b, func(p exp.Params) (exp.Report, error) { return p.SensitivityExtra() })
+}
+
+func BenchmarkAblations(b *testing.B) {
+	benchSensitivity(b, func(p exp.Params) (exp.Report, error) { return p.Ablations() })
+}
+
+func BenchmarkFutureWorkPerChannel(b *testing.B) {
+	benchSensitivity(b, func(p exp.Params) (exp.Report, error) { return p.FutureWork() })
+}
+
+// BenchmarkSingleRun measures the simulator's raw throughput on one
+// memory-bound epoch pair — the unit of work every figure above is
+// built from.
+func BenchmarkSingleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(RunConfig{Mix: "MEM1", Policy: "MemScale", Epochs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic-trace throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := config.Default()
+	mix, err := workload.ByName("MEM1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	streams, err := mix.Streams(&cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streams[i%len(streams)].Next()
+	}
+}

@@ -1,0 +1,82 @@
+// Command memscale-sim runs a single (workload, policy) pair against
+// the unmanaged baseline and prints the paired outcome: energy
+// savings, CPI degradation, and the frequency residency.
+//
+// Usage:
+//
+//	memscale-sim -mix MID1 [-policy MemScale] [-epochs 10]
+//	             [-gamma 0.10] [-cores 16] [-channels 4] [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"memscale"
+)
+
+func main() {
+	mix := flag.String("mix", "MID1", "workload mix ("+strings.Join(memscale.Mixes(), ", ")+")")
+	policy := flag.String("policy", "MemScale", "policy ("+strings.Join(memscale.Policies(), ", ")+")")
+	epochs := flag.Int("epochs", 10, "OS quanta (5 ms each) to simulate")
+	gamma := flag.Float64("gamma", 0.10, "maximum allowed performance degradation")
+	cores := flag.Int("cores", 0, "core count override (default 16)")
+	channels := flag.Int("channels", 0, "channel count override (default 4)")
+	timeline := flag.Bool("timeline", false, "print the per-epoch frequency/CPI timeline")
+	flag.Parse()
+
+	sum, err := memscale.Run(memscale.RunConfig{
+		Mix:      *mix,
+		Policy:   *policy,
+		Epochs:   *epochs,
+		Gamma:    *gamma,
+		Cores:    *cores,
+		Channels: *channels,
+		Timeline: *timeline,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memscale-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(sum)
+	fmt.Printf("simulated %.0f ms; memory energy %.3f J; system energy %.3f J\n",
+		sum.DurationSeconds*1000, sum.MemoryEnergyJ, sum.SystemEnergyJ)
+
+	freqs := make([]int, 0, len(sum.FreqSeconds))
+	for f := range sum.FreqSeconds {
+		freqs = append(freqs, f)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	fmt.Println("frequency residency:")
+	for _, f := range freqs {
+		fmt.Printf("  %4d MHz  %5.1f%%\n", f, sum.FreqSeconds[f]/sum.DurationSeconds*100)
+	}
+
+	if *timeline {
+		fmt.Println("timeline (per 5 ms epoch):")
+		for _, ep := range sum.Timeline {
+			var cpiMin, cpiMax float64
+			for i, c := range ep.CoreCPI {
+				if i == 0 || c < cpiMin {
+					cpiMin = c
+				}
+				if c > cpiMax {
+					cpiMax = c
+				}
+			}
+			var util float64
+			for _, u := range ep.ChannelUtil {
+				util += u
+			}
+			if len(ep.ChannelUtil) > 0 {
+				util /= float64(len(ep.ChannelUtil))
+			}
+			fmt.Printf("  t=%6.1fms  %4d MHz  CPI %.2f-%.2f  chan util %4.1f%%\n",
+				ep.EndMs, ep.BusFreqMHz, cpiMin, cpiMax, util*100)
+		}
+	}
+}

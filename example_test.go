@@ -1,0 +1,67 @@
+package memscale_test
+
+import (
+	"fmt"
+
+	"memscale"
+)
+
+// Example runs a compute-bound mix under MemScale and checks the
+// headline effects: deep memory-energy savings at negligible
+// performance cost, with most time spent at the bottom of the
+// frequency ladder.
+func Example() {
+	sum, err := memscale.Run(memscale.RunConfig{
+		Mix:    "ILP2",
+		Policy: "MemScale",
+		Epochs: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("memory savings over 50%:", sum.MemorySavings > 0.50)
+	fmt.Println("system savings over 20%:", sum.SystemSavings > 0.20)
+	fmt.Println("within the 10% CPI bound:", sum.WorstCPIIncrease < 0.10)
+	fmt.Println("reached the lowest frequency:", sum.FreqSeconds[200] > 0)
+	// Output:
+	// memory savings over 50%: true
+	// system savings over 20%: true
+	// within the 10% CPI bound: true
+	// reached the lowest frequency: true
+}
+
+// ExampleRun_policies compares two schemes on the same deterministic
+// workload.
+func ExampleRun_policies() {
+	savings := map[string]float64{}
+	for _, policy := range []string{"Fast-PD", "MemScale"} {
+		sum, err := memscale.Run(memscale.RunConfig{
+			Mix:    "ILP2",
+			Policy: policy,
+			Epochs: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		savings[policy] = sum.SystemSavings
+	}
+	fmt.Println("both schemes save energy:", savings["Fast-PD"] > 0 && savings["MemScale"] > 0)
+	fmt.Println("MemScale beats Fast-PD:", savings["MemScale"] > savings["Fast-PD"])
+	// Output:
+	// both schemes save energy: true
+	// MemScale beats Fast-PD: true
+}
+
+// ExampleMixes lists the Table 1 workloads.
+func ExampleMixes() {
+	fmt.Println(memscale.Mixes())
+	// Output:
+	// [ILP1 ILP2 ILP3 ILP4 MID1 MID2 MID3 MID4 MEM1 MEM2 MEM3 MEM4]
+}
+
+// ExamplePolicies lists the energy-management schemes.
+func ExamplePolicies() {
+	fmt.Println(memscale.Policies())
+	// Output:
+	// [Baseline Fast-PD Slow-PD Decoupled Static MemScale MemScale (MemEnergy) MemScale + Fast-PD]
+}

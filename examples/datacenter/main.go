@@ -1,0 +1,62 @@
+// Datacenter: the energy-proportionality story of the paper's
+// introduction. A server's load varies through the day; with
+// conventional memory the memory subsystem burns nearly the same
+// power at 2 a.m. as at noon. This example walks a diurnal schedule of
+// workload intensities (idle-ish overnight, balanced in the morning,
+// memory-bound at peak) and compares the energy of an unmanaged
+// memory system against MemScale, per period and summed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memscale"
+)
+
+// period is one slice of the diurnal schedule: a representative mix
+// and how many real hours it stands for.
+type period struct {
+	label string
+	mix   string
+	hours float64
+}
+
+func main() {
+	schedule := []period{
+		{"overnight (light)", "ILP2", 8},
+		{"morning (mixed)", "MID1", 6},
+		{"peak (memory-bound)", "MEM2", 4},
+		{"evening (mixed)", "MID4", 6},
+	}
+
+	fmt.Println("diurnal schedule, baseline vs MemScale")
+	fmt.Printf("%-22s %10s %12s %12s %10s\n", "period", "hours", "base (kJ)", "scaled (kJ)", "saved")
+
+	var baseTotal, scaledTotal float64
+	for _, p := range schedule {
+		sum, err := memscale.Run(memscale.RunConfig{
+			Mix:    p.mix,
+			Policy: "MemScale",
+			Epochs: 6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Scale the simulated window's average power to the period's
+		// real duration.
+		seconds := p.hours * 3600
+		scaled := sum.SystemEnergyJ / sum.DurationSeconds * seconds / 1000
+		base := scaled / (1 - sum.SystemSavings)
+		baseTotal += base
+		scaledTotal += scaled
+		fmt.Printf("%-22s %10.0f %12.0f %12.0f %9.1f%%\n",
+			p.label, p.hours, base, scaled, sum.SystemSavings*100)
+	}
+	fmt.Printf("%-22s %10s %12.0f %12.0f %9.1f%%\n", "TOTAL", "24",
+		baseTotal, scaledTotal, (1-scaledTotal/baseTotal)*100)
+	fmt.Println()
+	fmt.Println("MemScale saves the most exactly when servers idle — the hours that")
+	fmt.Println("dominate a datacenter's day — because its active low-power modes do")
+	fmt.Println("not depend on finding rank-level idleness.")
+}

@@ -1,0 +1,39 @@
+// Policysweep: compare every energy-management scheme of the paper's
+// Section 4.2.3 on one workload — the unmanaged baseline, the
+// powerdown-based controllers, Decoupled DIMMs, the best static
+// frequency, and the MemScale variants — reproducing the Figure 9/11
+// comparison for a single mix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"memscale"
+)
+
+func main() {
+	mix := flag.String("mix", "MID2", "workload mix to sweep")
+	epochs := flag.Int("epochs", 8, "OS quanta per run")
+	flag.Parse()
+
+	fmt.Printf("policy comparison on %s (gamma = 10%%)\n\n", *mix)
+	fmt.Printf("%-22s %14s %14s %12s %12s\n",
+		"policy", "system energy", "memory energy", "avg CPI", "worst CPI")
+
+	for _, policy := range memscale.Policies() {
+		sum, err := memscale.Run(memscale.RunConfig{
+			Mix:    *mix,
+			Policy: policy,
+			Epochs: *epochs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %+13.1f%% %+13.1f%% %+11.1f%% %+11.1f%%\n",
+			policy, sum.SystemSavings*100, sum.MemorySavings*100,
+			sum.AvgCPIIncrease*100, sum.WorstCPIIncrease*100)
+	}
+	fmt.Println("\n(positive energy = savings vs baseline; positive CPI = slowdown)")
+}

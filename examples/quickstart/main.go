@@ -1,0 +1,39 @@
+// Quickstart: run one balanced workload under MemScale and print the
+// headline result — how much energy dynamic memory DVFS/DFS saves
+// while respecting the 10% per-application performance bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memscale"
+)
+
+func main() {
+	fmt.Println("MemScale quickstart: MID1 (ammp gap wupwise vpr) on 16 cores")
+	fmt.Println()
+
+	sum, err := memscale.Run(memscale.RunConfig{
+		Mix:    "MID1",
+		Policy: "MemScale",
+		Epochs: 8, // 8 x 5 ms OS quanta
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("memory subsystem energy: %6.3f J (%.1f%% saved vs baseline)\n",
+		sum.MemoryEnergyJ, sum.MemorySavings*100)
+	fmt.Printf("full system energy:      %6.3f J (%.1f%% saved vs baseline)\n",
+		sum.SystemEnergyJ, sum.SystemSavings*100)
+	fmt.Printf("performance cost:        +%.1f%% CPI on average, +%.1f%% worst application\n",
+		sum.AvgCPIIncrease*100, sum.WorstCPIIncrease*100)
+	fmt.Println()
+	fmt.Println("bus-frequency residency:")
+	for _, f := range []int{800, 733, 667, 600, 533, 467, 400, 333, 267, 200} {
+		if sec, ok := sum.FreqSeconds[f]; ok && sec > 0 {
+			fmt.Printf("  %4d MHz: %5.1f%%\n", f, sec/sum.DurationSeconds*100)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module memscale
+
+go 1.22

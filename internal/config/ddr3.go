@@ -1,0 +1,110 @@
+package config
+
+// DDR3Timing holds the JEDEC device timing parameters of Table 2.
+//
+// Parameters whose physical origin is the DRAM array (row decode,
+// sense, restore, precharge) are stored as wall-clock durations: they
+// do not change when the interface frequency is scaled (paper,
+// Section 2.2). Parameters that are interface cycles (burst length,
+// MC processing) are stored as cycle counts and therefore stretch as
+// the bus slows down.
+type DDR3Timing struct {
+	TRCD Time // activate -> column access
+	TRP  Time // precharge
+	TCL  Time // column access (CAS) latency
+	TRAS Time // activate -> precharge minimum
+	TRTP Time // read -> precharge minimum
+	TRRD Time // activate -> activate, same rank
+	TFAW Time // four-activation window, per rank
+	TRFC Time // refresh cycle time (rank blocked)
+
+	TXP    Time // exit fast (precharge) powerdown
+	TXPDLL Time // exit slow powerdown (DLL off)
+
+	RefreshPeriod Time // full-array retention period (tREF)
+	RefreshRows   int  // refresh commands per retention period (8k)
+
+	BurstCycles int // bus cycles per 64B cache-line transfer (BL8/2, DDR)
+	MCCycles    int // MC cycles of processing per request
+}
+
+// DefaultDDR3Timing returns the Table 2 timing parameters. Cycle-valued
+// entries in the table (tFAW = 20 cycles, tRTP = 5, tRAS = 28, tRRD = 4)
+// are specified at the nominal 800 MHz bus clock; they are device
+// constraints, so we convert them to wall-clock durations here.
+func DefaultDDR3Timing() DDR3Timing {
+	nominal := MaxBusFreq.Period() // 1250 ps
+	return DDR3Timing{
+		TRCD: 15 * Nanosecond,
+		TRP:  15 * Nanosecond,
+		TCL:  15 * Nanosecond,
+		TRAS: 28 * nominal, // 35 ns
+		TRTP: 5 * nominal,  // 6.25 ns
+		TRRD: 4 * nominal,  // 5 ns
+		TFAW: 20 * nominal, // 25 ns
+		TRFC: 160 * Nanosecond,
+
+		TXP:    6 * Nanosecond,
+		TXPDLL: 24 * Nanosecond,
+
+		RefreshPeriod: 64 * Millisecond,
+		RefreshRows:   8192,
+
+		BurstCycles: 4, // 64B line over a 64-bit DDR channel
+		MCCycles:    5, // Section 3.3: five MC clock cycles per request
+	}
+}
+
+// RefreshInterval returns tREFI, the average interval between refresh
+// commands to one rank (7.8125 us for the default parameters).
+func (t DDR3Timing) RefreshInterval() Time {
+	return t.RefreshPeriod / Time(t.RefreshRows)
+}
+
+// BurstTime returns the data-transfer (burst) time of one cache line at
+// bus frequency f. Data moves on both clock edges, so BurstCycles
+// already accounts for the DDR factor.
+func (t DDR3Timing) BurstTime(f FreqMHz) Time {
+	return f.Cycles(int64(t.BurstCycles))
+}
+
+// MCTime returns the memory-controller processing latency per request
+// at bus frequency f. The MC clock is double the bus clock.
+func (t DDR3Timing) MCTime(f FreqMHz) Time {
+	return MCFreq(f).Cycles(int64(t.MCCycles))
+}
+
+// DDR3Currents holds the Table 2 DRAM chip current draws (mA) used by
+// the Micron-style power model, plus the supply voltage.
+type DDR3Currents struct {
+	IDDReadWrite        float64 // row-buffer read/write burst
+	IDDActPre           float64 // activation-precharge, averaged over tRC
+	IDDActiveStandby    float64 // some bank open, CKE high
+	IDDActivePowerdown  float64 // some bank open, CKE low
+	IDDPrechargeStandby float64 // all banks closed, CKE high
+	IDDPrechargePD      float64 // all banks closed, CKE low, DLL on (fast exit)
+	IDDPrechargeSlowPD  float64 // all banks closed, CKE low, DLL off (slow exit)
+	IDDRefresh          float64 // during tRFC
+	VDD                 float64 // volts
+}
+
+// DefaultDDR3Currents returns the Table 2 current parameters, which
+// correspond to devices running at the nominal 800 MHz.
+func DefaultDDR3Currents() DDR3Currents {
+	return DDR3Currents{
+		IDDReadWrite:        250,
+		IDDActPre:           120,
+		IDDActiveStandby:    67,
+		IDDActivePowerdown:  45,
+		IDDPrechargeStandby: 70,
+		IDDPrechargePD:      45,
+		// Table 2 lists a single precharge-powerdown current that
+		// covers both the fast-exit (DLL-on) and slow-exit (DLL-off)
+		// states. Keeping them equal is what makes the paper's
+		// Slow-PD policy strictly worse than Fast-PD: same power,
+		// longer exit latency (Section 4.2.3).
+		IDDPrechargeSlowPD: 45,
+		IDDRefresh:         240,
+		VDD:                1.575,
+	}
+}

@@ -1,0 +1,105 @@
+package config
+
+import "fmt"
+
+// FreqMHz is a clock frequency in megahertz.
+//
+// Throughout the simulator "the memory frequency" refers to the bus
+// (channel) frequency. The DIMM clock locks to the bus frequency and
+// the memory-controller frequency is fixed at double the bus frequency
+// (paper, Section 3.1), so a single FreqMHz value fully determines the
+// operating point of the memory subsystem.
+type FreqMHz int
+
+// The DDR3 bus frequency ladder evaluated in the paper (Section 4.1):
+// 800 MHz nominal plus nine lower settings.
+const (
+	Freq800 FreqMHz = 800
+	Freq733 FreqMHz = 733
+	Freq667 FreqMHz = 667
+	Freq600 FreqMHz = 600
+	Freq533 FreqMHz = 533
+	Freq467 FreqMHz = 467
+	Freq400 FreqMHz = 400
+	Freq333 FreqMHz = 333
+	Freq267 FreqMHz = 267
+	Freq200 FreqMHz = 200
+)
+
+// BusFrequencies is the ladder of selectable bus frequencies, highest
+// first. The first entry is the nominal (baseline) frequency.
+var BusFrequencies = []FreqMHz{
+	Freq800, Freq733, Freq667, Freq600, Freq533,
+	Freq467, Freq400, Freq333, Freq267, Freq200,
+}
+
+// MaxBusFreq is the nominal bus frequency at which the baseline system
+// runs and against which slack is accounted.
+const MaxBusFreq = Freq800
+
+// MinBusFreq is the lowest selectable bus frequency.
+const MinBusFreq = Freq200
+
+// Period returns the clock period for frequency f, rounded to the
+// nearest picosecond (e.g. 800 MHz -> 1250 ps).
+func (f FreqMHz) Period() Time {
+	if f <= 0 {
+		panic(fmt.Sprintf("config: non-positive frequency %d MHz", f))
+	}
+	return Time((1_000_000 + int64(f)/2) / int64(f))
+}
+
+// Cycles converts a cycle count at frequency f into a duration.
+func (f FreqMHz) Cycles(n int64) Time { return Time(n) * f.Period() }
+
+// CyclesCeil returns the smallest whole number of cycles of frequency f
+// whose duration is at least d. Device timing constraints expressed in
+// nanoseconds are quantized this way by the controller.
+func (f FreqMHz) CyclesCeil(d Time) int64 {
+	p := int64(f.Period())
+	return (int64(d) + p - 1) / p
+}
+
+// QuantizeCeil rounds the duration d up to a whole number of cycles at
+// frequency f.
+func (f FreqMHz) QuantizeCeil(d Time) Time { return f.Cycles(f.CyclesCeil(d)) }
+
+// Hz returns the frequency in hertz as a float64.
+func (f FreqMHz) Hz() float64 { return float64(f) * 1e6 }
+
+// String renders the frequency, e.g. "667MHz".
+func (f FreqMHz) String() string { return fmt.Sprintf("%dMHz", int(f)) }
+
+// ValidBusFrequency reports whether f is a member of the ladder.
+func ValidBusFrequency(f FreqMHz) bool {
+	for _, g := range BusFrequencies {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}
+
+// NearestBusFrequency returns the ladder frequency closest to f,
+// breaking ties toward the higher frequency.
+func NearestBusFrequency(f FreqMHz) FreqMHz {
+	best := BusFrequencies[0]
+	bestDist := abs64(int64(f) - int64(best))
+	for _, g := range BusFrequencies[1:] {
+		if d := abs64(int64(f) - int64(g)); d < bestDist {
+			best, bestDist = g, d
+		}
+	}
+	return best
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MCFreq returns the memory-controller frequency for bus frequency f.
+// The MC runs at double the bus frequency (paper, Section 3.1).
+func MCFreq(bus FreqMHz) FreqMHz { return bus * 2 }

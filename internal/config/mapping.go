@@ -1,0 +1,78 @@
+package config
+
+// Location identifies the physical placement of one cache line in the
+// memory system.
+type Location struct {
+	Channel int
+	Rank    int // rank index within the channel
+	Bank    int // bank index within the rank
+	Row     int // row index within the bank
+	Col     int // line index within the row
+}
+
+// AddressMapper translates cache-line addresses to physical locations.
+//
+// The layout follows the paper's controller (Section 4.1): cache lines
+// interleave across channels for bandwidth, consecutive lines within a
+// channel fill a row (so streaming accesses enjoy row locality), and
+// successive rows interleave across banks and then ranks, which is the
+// bank-interleaving the controller exploits.
+type AddressMapper struct {
+	channels    int
+	linesPerRow int
+	banks       int
+	ranks       int
+	rows        int
+}
+
+// NewAddressMapper builds a mapper for configuration c.
+func NewAddressMapper(c *Config) *AddressMapper {
+	return &AddressMapper{
+		channels:    c.Channels,
+		linesPerRow: c.LinesPerRow(),
+		banks:       c.BanksPerRank,
+		ranks:       c.RanksPerChannel(),
+		rows:        c.RowsPerBank,
+	}
+}
+
+// Lines returns the total number of distinct cache-line addresses the
+// mapper covers before wrapping.
+func (m *AddressMapper) Lines() uint64 {
+	return uint64(m.channels) * uint64(m.linesPerRow) *
+		uint64(m.banks) * uint64(m.ranks) * uint64(m.rows)
+}
+
+// Map translates a cache-line address to its location. Addresses beyond
+// the configured capacity wrap around.
+func (m *AddressMapper) Map(line uint64) Location {
+	var loc Location
+	loc.Channel = int(line % uint64(m.channels))
+	line /= uint64(m.channels)
+	loc.Col = int(line % uint64(m.linesPerRow))
+	line /= uint64(m.linesPerRow)
+	loc.Bank = int(line % uint64(m.banks))
+	line /= uint64(m.banks)
+	loc.Rank = int(line % uint64(m.ranks))
+	line /= uint64(m.ranks)
+	loc.Row = int(line % uint64(m.rows))
+	return loc
+}
+
+// Unmap is the inverse of Map for in-range locations; it reconstructs
+// the canonical line address of a location.
+func (m *AddressMapper) Unmap(loc Location) uint64 {
+	line := uint64(loc.Row)
+	line = line*uint64(m.ranks) + uint64(loc.Rank)
+	line = line*uint64(m.banks) + uint64(loc.Bank)
+	line = line*uint64(m.linesPerRow) + uint64(loc.Col)
+	line = line*uint64(m.channels) + uint64(loc.Channel)
+	return line
+}
+
+// LineForRow returns the address of the col'th line of the given
+// (channel, rank, bank, row) tuple; workload generators use it to
+// synthesize streams with controlled row locality.
+func (m *AddressMapper) LineForRow(channel, rank, bank, row, col int) uint64 {
+	return m.Unmap(Location{Channel: channel, Rank: rank, Bank: bank, Row: row, Col: col})
+}

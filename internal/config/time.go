@@ -1,0 +1,84 @@
+// Package config holds the system configuration for the MemScale
+// simulator: the Table 2 parameters of the paper (DDR3 timing and
+// currents, memory geometry, CPU parameters), the memory-frequency
+// ladder, and the energy-management policy settings.
+//
+// All simulated time is expressed in Time (picoseconds), which keeps
+// timing arithmetic exact across the ten bus frequencies.
+package config
+
+import "fmt"
+
+// Time is a simulated instant or duration in picoseconds.
+//
+// Picosecond resolution lets every bus period in the frequency ladder
+// (200–800 MHz) be represented as an integer with at most 0.04% error,
+// and an int64 still covers over 100 days of simulated time.
+type Time int64
+
+// Time unit constants.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Nanoseconds converts t to floating-point nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds converts t to floating-point microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time with an adaptive unit, for logs and tables.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.2fns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4fs", t.Seconds())
+	}
+}
+
+// FromNanoseconds builds a Time from a floating-point nanosecond count,
+// rounding to the nearest picosecond.
+func FromNanoseconds(ns float64) Time {
+	if ns < 0 {
+		return -FromNanoseconds(-ns)
+	}
+	return Time(ns*1000 + 0.5)
+}
+
+// FromSeconds builds a Time from floating-point seconds.
+func FromSeconds(s float64) Time { return FromNanoseconds(s * 1e9) }
+
+// MinTime returns the smaller of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the larger of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

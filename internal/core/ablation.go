@@ -1,0 +1,101 @@
+package core
+
+import (
+	"memscale/internal/config"
+	"memscale/internal/sim"
+)
+
+// Ablation switches off one ingredient of the MemScale policy, to
+// quantify how much that ingredient matters. Each corresponds to a
+// design choice the paper argues for:
+//
+//   - AblateProfiling: Section 3.2 profiles 300 us at each epoch start
+//     because "a short profiling phase often provides a more current
+//     picture"; this variant relies solely on end-of-epoch accounting,
+//     steering each epoch with the previous epoch's counters.
+//   - AblateQueueModel: Section 3.3 builds the BTO/CTO counters because
+//     classic queueing analysis of the transfer-blocking network is
+//     infeasible; this variant predicts CPI with service times only
+//     (xi_bank = xi_bus = 1), i.e. no contention awareness.
+//   - AblateSlack: Equation 1 carries slack across epochs so transient
+//     mispredictions are paid back; this variant resets slack every
+//     epoch and must satisfy the bound epoch-locally.
+type Ablation int
+
+// Ablation variants.
+const (
+	AblateNothing Ablation = iota
+	AblateProfiling
+	AblateQueueModel
+	AblateSlack
+)
+
+// String names the ablation.
+func (a Ablation) String() string {
+	switch a {
+	case AblateNothing:
+		return "full"
+	case AblateProfiling:
+		return "no-profiling"
+	case AblateQueueModel:
+		return "no-queue-model"
+	case AblateSlack:
+		return "no-slack-carryover"
+	default:
+		return "unknown"
+	}
+}
+
+// AblatedPolicy wraps Policy with one ingredient disabled.
+type AblatedPolicy struct {
+	*Policy
+	ablation Ablation
+
+	// For AblateProfiling: the counters of the previous epoch stand in
+	// for the profiling window.
+	lastEpoch *sim.Profile
+}
+
+// NewAblatedPolicy builds a MemScale policy with the given ablation.
+func NewAblatedPolicy(cfg *config.Config, opts Options, a Ablation) *AblatedPolicy {
+	p := NewPolicy(cfg, opts)
+	if a == AblateQueueModel {
+		p.model.noQueue = true
+	}
+	return &AblatedPolicy{Policy: p, ablation: a}
+}
+
+// Name implements sim.Governor.
+func (a *AblatedPolicy) Name() string {
+	return a.Policy.Name() + "/" + a.ablation.String()
+}
+
+// ProfileComplete implements sim.Governor.
+func (a *AblatedPolicy) ProfileComplete(prof sim.Profile) config.FreqMHz {
+	if a.ablation == AblateProfiling {
+		// Ignore the fresh profiling window; decide from the previous
+		// epoch's end-of-epoch accounting (or keep nominal before the
+		// first epoch completes).
+		if a.lastEpoch == nil {
+			return config.MaxBusFreq
+		}
+		return a.Policy.ProfileComplete(*a.lastEpoch)
+	}
+	return a.Policy.ProfileComplete(prof)
+}
+
+// EpochEnd implements sim.Governor.
+func (a *AblatedPolicy) EpochEnd(prof sim.Profile) {
+	a.Policy.EpochEnd(prof)
+	if a.ablation == AblateProfiling {
+		cp := prof
+		cp.Counters = prof.Counters.Clone()
+		cp.Instr = append([]float64(nil), prof.Instr...)
+		a.lastEpoch = &cp
+	}
+	if a.ablation == AblateSlack {
+		for i := range a.slack {
+			a.slack[i] = 0
+		}
+	}
+}

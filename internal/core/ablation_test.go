@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/memctrl"
+	"memscale/internal/sim"
+)
+
+func TestAblationNames(t *testing.T) {
+	want := map[Ablation]string{
+		AblateNothing:    "full",
+		AblateProfiling:  "no-profiling",
+		AblateQueueModel: "no-queue-model",
+		AblateSlack:      "no-slack-carryover",
+		Ablation(99):     "unknown",
+	}
+	for a, name := range want {
+		if a.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), name)
+		}
+	}
+	cfg := config.Default()
+	ap := NewAblatedPolicy(&cfg, Options{NonMemPower: 40}, AblateQueueModel)
+	if ap.Name() != "memscale/no-queue-model" {
+		t.Errorf("Name() = %q", ap.Name())
+	}
+}
+
+func TestAblateNothingMatchesFullPolicy(t *testing.T) {
+	nonMem := calibrate(t, "MID1")
+	cfgA := config.Default()
+	full := NewPolicy(&cfgA, Options{NonMemPower: nonMem})
+	cfgB := config.Default()
+	same := NewAblatedPolicy(&cfgB, Options{NonMemPower: nonMem}, AblateNothing)
+
+	rFull := runMix(t, "MID1", full, 20*config.Millisecond, nonMem)
+	rSame := runMix(t, "MID1", same, 20*config.Millisecond, nonMem)
+	if rFull.Memory != rSame.Memory {
+		t.Error("AblateNothing must behave identically to the full policy")
+	}
+}
+
+func TestNoQueueModelUnderestimatesCPI(t *testing.T) {
+	// Without the xi terms the model predicts lower CPI at low
+	// frequency, so on a contended MEM mix the variant scales deeper
+	// (weakly more aggressive frequency choices).
+	nonMem := calibrate(t, "MEM3")
+	cfgA := config.Default()
+	full := NewPolicy(&cfgA, Options{NonMemPower: nonMem})
+	cfgB := config.Default()
+	noQ := NewAblatedPolicy(&cfgB, Options{NonMemPower: nonMem}, AblateQueueModel)
+
+	rFull := runMix(t, "MEM3", full, 25*config.Millisecond, nonMem)
+	rNoQ := runMix(t, "MEM3", noQ, 25*config.Millisecond, nonMem)
+
+	meanFreq := func(r sim.Result) float64 {
+		var num, den float64
+		for f, tm := range r.FreqTime {
+			num += float64(f) * tm.Seconds()
+			den += tm.Seconds()
+		}
+		return num / den
+	}
+	if meanFreq(rNoQ) > meanFreq(rFull)+1 {
+		t.Errorf("no-queue variant ran faster (%.0f MHz) than full (%.0f MHz); expected deeper scaling",
+			meanFreq(rNoQ), meanFreq(rFull))
+	}
+}
+
+func TestNoQueueModelPredictsLessMemoryTime(t *testing.T) {
+	// Model-level property: with identical counter fits, dropping the
+	// xi terms can only shrink the predicted memory time (it removes
+	// non-negative contention factors).
+	cfg := config.Default()
+	full := NewPerfModel(&cfg)
+	bare := NewPerfModel(&cfg)
+	bare.noQueue = true
+
+	prof := syntheticProfile(&cfg, 2.0, 1.5) // xi_bank=3, xi_bus=2.5
+	full.Fit(prof)
+	bare.Fit(prof)
+	for _, f := range config.BusFrequencies {
+		if bare.TPIMem(f) > full.TPIMem(f) {
+			t.Errorf("at %v: no-queue TPIMem %.3g above full %.3g", f, bare.TPIMem(f), full.TPIMem(f))
+		}
+	}
+	if bare.XiBank != 1 || bare.XiBus != 1 {
+		t.Errorf("no-queue xi = %g/%g, want 1/1", bare.XiBank, bare.XiBus)
+	}
+}
+
+func TestNoProfilingReactsOneEpochLate(t *testing.T) {
+	// The variant keeps nominal frequency through the whole first
+	// epoch (no previous-epoch data), where the full policy already
+	// scales after the first 300 us profile.
+	nonMem := calibrate(t, "ILP2")
+	cfgA := config.Default()
+	full := NewPolicy(&cfgA, Options{NonMemPower: nonMem})
+	cfgB := config.Default()
+	lazy := NewAblatedPolicy(&cfgB, Options{NonMemPower: nonMem}, AblateProfiling)
+
+	rFull := runMix(t, "ILP2", full, 15*config.Millisecond, nonMem)
+	rLazy := runMix(t, "ILP2", lazy, 15*config.Millisecond, nonMem)
+
+	if rLazy.FreqTime[config.MaxBusFreq] <= rFull.FreqTime[config.MaxBusFreq] {
+		t.Errorf("no-profiling spent %v at nominal, full spent %v; expected a slower start",
+			rLazy.FreqTime[config.MaxBusFreq], rFull.FreqTime[config.MaxBusFreq])
+	}
+	// But from the second epoch on it still converges to the bottom of
+	// the ladder on an ILP mix.
+	if rLazy.FreqTime[config.Freq200] <= 0 {
+		t.Error("no-profiling never reached the lowest frequency")
+	}
+	// The lost first epoch costs energy relative to the full policy.
+	if rLazy.Memory.Memory() <= rFull.Memory.Memory() {
+		t.Errorf("no-profiling used less memory energy (%.3f J) than full (%.3f J)?",
+			rLazy.Memory.Memory(), rFull.Memory.Memory())
+	}
+}
+
+// syntheticProfile builds a hand-written profiling window with the
+// given queue-depth counter ratios (BTO/BTC and CTO/CTC).
+func syntheticProfile(cfg *config.Config, bankDepth, busDepth float64) sim.Profile {
+	c := memctrl.Counters{TLM: make([]uint64, cfg.Cores)}
+	c.BTC = 1000
+	c.BTO = uint64(bankDepth * 1000)
+	c.CTC = 1000
+	c.CTO = uint64(busDepth * 1000)
+	c.CBMC = 900
+	c.RBHC = 50
+	c.OBMC = 50
+	for i := range c.TLM {
+		c.TLM[i] = 100
+	}
+	instr := make([]float64, cfg.Cores)
+	for i := range instr {
+		instr[i] = 100_000
+	}
+	return sim.Profile{
+		End:      300 * config.Microsecond,
+		BusFreq:  config.MaxBusFreq,
+		Counters: c,
+		Instr:    instr,
+	}
+}
+
+func TestNoSlackResetsEveryEpoch(t *testing.T) {
+	nonMem := calibrate(t, "ILP2")
+	cfg := config.Default()
+	pol := NewAblatedPolicy(&cfg, Options{NonMemPower: nonMem}, AblateSlack)
+	runMix(t, "ILP2", pol, 20*config.Millisecond, nonMem)
+	for i, s := range pol.Slack() {
+		if s != 0 {
+			t.Errorf("core %d slack = %v after epoch end, want 0", i, s)
+		}
+	}
+}

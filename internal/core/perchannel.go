@@ -1,0 +1,327 @@
+package core
+
+import (
+	"memscale/internal/config"
+	"memscale/internal/dram"
+	"memscale/internal/power"
+	"memscale/internal/sim"
+)
+
+// ChannelPerfModel extends the Equation 2-9 model to per-channel
+// frequencies: every channel carries its own queueing factors and
+// device time, and every core's memory time decomposes over the
+// channels its misses land on. This supports the paper's Section 6
+// future work ("selecting different frequencies for different
+// channels"), which becomes profitable once OS page placement skews
+// per-channel load.
+type ChannelPerfModel struct {
+	cfg     *config.Config
+	timings map[config.FreqMHz]dram.Resolved
+
+	// Per-channel window quantities.
+	XiBank  []float64
+	XiBus   []float64
+	TDevice []config.Time
+	FitFreq []config.FreqMHz // per-channel profiling frequencies
+
+	// AlphaCh[i][ch]: core i's misses per instruction on channel ch.
+	AlphaCh [][]float64
+	TPICpu  []float64
+	CPIObs  []float64
+}
+
+// NewChannelPerfModel precomputes the timing tables.
+func NewChannelPerfModel(cfg *config.Config) *ChannelPerfModel {
+	m := &ChannelPerfModel{
+		cfg:     cfg,
+		timings: make(map[config.FreqMHz]dram.Resolved, len(config.BusFrequencies)),
+	}
+	for _, f := range config.BusFrequencies {
+		m.timings[f] = dram.Resolve(cfg.Timing, f, f)
+	}
+	return m
+}
+
+// Fit extracts the model inputs from a profiling window. Channel
+// frequencies in force during the window come from the interval's
+// slices.
+func (m *ChannelPerfModel) Fit(p sim.Profile) {
+	nCh := len(p.Counters.PerChannel)
+	nCore := len(p.Instr)
+	m.XiBank = make([]float64, nCh)
+	m.XiBus = make([]float64, nCh)
+	m.TDevice = make([]config.Time, nCh)
+	m.AlphaCh = make([][]float64, nCore)
+	m.TPICpu = make([]float64, nCore)
+	m.CPIObs = make([]float64, nCore)
+
+	m.FitFreq = make([]config.FreqMHz, nCh)
+	profFreq := m.FitFreq
+	for ch := 0; ch < nCh; ch++ {
+		cc := p.Counters.PerChannel[ch]
+		m.XiBank[ch] = 1 + cc.BankQueueDepth()
+		m.XiBus[ch] = 1 + cc.ChannelQueueDepth()
+		f := p.BusFreq
+		if ch < len(p.Interval.Channels) && p.Interval.Channels[ch].BusFreq != 0 {
+			f = p.Interval.Channels[ch].BusFreq
+		}
+		profFreq[ch] = f
+		at := m.timings[f]
+		if n := cc.AccessCount(); n == 0 {
+			m.TDevice[ch] = at.TRCD + at.TCL
+		} else {
+			hit := float64(at.TCL) * float64(cc.RBHC)
+			cb := float64(at.TRCD+at.TCL) * float64(cc.CBMC)
+			ob := float64(at.TRP+at.TRCD+at.TCL) * float64(cc.OBMC)
+			pd := float64(at.TXP) * float64(cc.EPDC)
+			m.TDevice[ch] = config.Time((hit + cb + ob + pd) / float64(n))
+		}
+	}
+
+	cycles := m.cfg.TimeToCPUCycles(p.Elapsed())
+	for i := 0; i < nCore; i++ {
+		m.AlphaCh[i] = make([]float64, nCh)
+		instr := p.Instr[i]
+		if instr <= 0 {
+			continue
+		}
+		m.CPIObs[i] = cycles / instr
+		memTPI := 0.0
+		for ch := 0; ch < nCh; ch++ {
+			m.AlphaCh[i][ch] = float64(p.Counters.PerChannel[ch].TLM[i]) / instr
+			memTPI += m.AlphaCh[i][ch] * m.TPIMemCh(ch, profFreq[ch])
+		}
+		tpi := p.Elapsed().Seconds() / instr
+		cpuPart := tpi - memTPI
+		if cpuPart < 0 {
+			cpuPart = 0
+		}
+		m.TPICpu[i] = cpuPart
+	}
+}
+
+// TPIMemCh evaluates Equation 9 for one channel at frequency f, with
+// the same queue-depth interpolation as the uniform model (Section 3.3
+// deep-queue modification).
+func (m *ChannelPerfModel) TPIMemCh(ch int, f config.FreqMHz) float64 {
+	at := m.timings[f]
+	ratio := 1.0
+	if ch < len(m.FitFreq) && m.FitFreq[ch] != 0 && f != m.FitFreq[ch] {
+		ratio = queueGrowth(float64(at.Burst) / float64(m.timings[m.FitFreq[ch]].Burst))
+	}
+	xiBank := 1 + (m.XiBank[ch]-1)*ratio
+	xiBus := 1 + (m.XiBus[ch]-1)*ratio
+	sBank := (at.MC + m.TDevice[ch]).Seconds()
+	sBus := at.Burst.Seconds()
+	return xiBank * (sBank + xiBus*sBus)
+}
+
+// CPI predicts core i's CPI under the per-channel frequency vector.
+func (m *ChannelPerfModel) CPI(i int, freqs []config.FreqMHz) float64 {
+	tpi := m.TPICpu[i]
+	for ch, f := range freqs {
+		tpi += m.AlphaCh[i][ch] * m.TPIMemCh(ch, f)
+	}
+	return tpi * m.cfg.CPUFreqMHz.Hz()
+}
+
+// RelTime predicts run time under freqs relative to the uniform base
+// vector.
+func (m *ChannelPerfModel) RelTime(freqs, base []config.FreqMHz) float64 {
+	var sum float64
+	n := 0
+	for i := range m.CPIObs {
+		if m.CPIObs[i] <= 0 {
+			continue
+		}
+		sum += m.CPI(i, freqs) / m.CPI(i, base)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// PerChannelPolicy is the future-work governor: greedy per-channel
+// frequency descent under the shared slack constraint.
+type PerChannelPolicy struct {
+	cfg   *config.Config
+	model *ChannelPerfModel
+	emod  *power.Model
+	opts  Options
+	gamma float64
+
+	slack []config.Time
+
+	decisions int
+}
+
+// NewPerChannelPolicy builds the per-channel governor.
+func NewPerChannelPolicy(cfg *config.Config, opts Options) *PerChannelPolicy {
+	g := opts.Gamma
+	if g == 0 {
+		g = cfg.Policy.Gamma
+	}
+	return &PerChannelPolicy{
+		cfg:   cfg,
+		model: NewChannelPerfModel(cfg),
+		emod:  power.NewModel(cfg),
+		opts:  opts,
+		gamma: g,
+		slack: make([]config.Time, cfg.Cores),
+	}
+}
+
+// Name implements sim.Governor.
+func (p *PerChannelPolicy) Name() string { return "memscale-perchannel" }
+
+// Gamma returns the performance-degradation bound.
+func (p *PerChannelPolicy) Gamma() float64 { return p.gamma }
+
+// Decisions returns how many epoch decisions were made.
+func (p *PerChannelPolicy) Decisions() int { return p.decisions }
+
+// ProfileComplete implements sim.Governor; per-channel governors never
+// use the uniform path, but the interface requires it.
+func (p *PerChannelPolicy) ProfileComplete(prof sim.Profile) config.FreqMHz {
+	freqs := p.ProfileCompletePerChannel(prof)
+	best := config.MinBusFreq
+	for _, f := range freqs {
+		if f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// ladderIndex returns f's position in the descending frequency ladder.
+func ladderIndex(f config.FreqMHz) int {
+	for i, g := range config.BusFrequencies {
+		if g == f {
+			return i
+		}
+	}
+	return 0
+}
+
+// ProfileCompletePerChannel implements sim.PerChannelGovernor: greedy
+// coordinate descent from the all-nominal vector, lowering whichever
+// channel yields the largest predicted-energy improvement while every
+// core's slack projection stays non-negative.
+func (p *PerChannelPolicy) ProfileCompletePerChannel(prof sim.Profile) []config.FreqMHz {
+	p.model.Fit(prof)
+	p.decisions++
+	nCh := len(prof.Counters.PerChannel)
+	cur := make([]config.FreqMHz, nCh)
+	base := make([]config.FreqMHz, nCh)
+	for i := range cur {
+		cur[i] = config.MaxBusFreq
+		base[i] = config.MaxBusFreq
+	}
+	curScore := p.score(prof, cur, base)
+
+	for {
+		bestCh, bestScore := -1, curScore
+		var bestFreq config.FreqMHz
+		for ch := 0; ch < nCh; ch++ {
+			idx := ladderIndex(cur[ch])
+			if idx+1 >= len(config.BusFrequencies) {
+				continue
+			}
+			trial := append([]config.FreqMHz(nil), cur...)
+			trial[ch] = config.BusFrequencies[idx+1]
+			if !p.feasible(trial, base) {
+				continue
+			}
+			if s := p.score(prof, trial, base); s < bestScore {
+				bestCh, bestScore, bestFreq = ch, s, trial[ch]
+			}
+		}
+		if bestCh < 0 {
+			break
+		}
+		cur[bestCh] = bestFreq
+		curScore = bestScore
+	}
+	return cur
+}
+
+// feasible projects the slack constraint one epoch forward for a
+// frequency vector.
+func (p *PerChannelPolicy) feasible(freqs, base []config.FreqMHz) bool {
+	epoch := p.cfg.Policy.EpochLength
+	for i := range p.slack {
+		if p.model.CPIObs[i] <= 0 {
+			continue
+		}
+		cpiMax := p.model.CPI(i, base)
+		cpiF := p.model.CPI(i, freqs)
+		if cpiF <= 0 {
+			continue
+		}
+		gain := config.Time(float64(epoch) * ((1 + p.gamma) * cpiMax / cpiF))
+		if p.slack[i]+gain-epoch < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// score predicts the system (or memory) energy of the profiled work
+// under the frequency vector.
+func (p *PerChannelPolicy) score(prof sim.Profile, freqs, base []config.FreqMHz) float64 {
+	relTime := p.model.RelTime(freqs, base)
+	iv := prof.Interval
+
+	maxF := config.MinBusFreq
+	for _, f := range freqs {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	pred := power.Interval{
+		Duration:  scaleT(iv.Duration, relTime),
+		MCBusFreq: maxF,
+		Channels:  make([]power.ChannelSlice, len(iv.Channels)),
+	}
+	for ch := range iv.Channels {
+		profF := iv.Channels[ch].BusFreq
+		burstRatio := float64(p.model.timings[freqs[ch]].Burst) / float64(p.model.timings[profF].Burst)
+		pred.Channels[ch] = predictChannelSlice(iv.Channels[ch], freqs[ch], relTime, burstRatio)
+	}
+	mem := p.emod.Energy(pred).Memory()
+	if p.opts.Objective == MinimizeMemoryEnergy {
+		return mem
+	}
+	return mem + p.opts.NonMemPower*config.Time(float64(iv.Duration)*relTime).Seconds()
+}
+
+// EpochEnd implements sim.Governor: slack update with the epoch's
+// actual outcome, as in the base policy.
+func (p *PerChannelPolicy) EpochEnd(prof sim.Profile) {
+	p.model.Fit(prof)
+	elapsed := prof.Elapsed()
+	nCh := len(prof.Counters.PerChannel)
+	base := make([]config.FreqMHz, nCh)
+	for i := range base {
+		base[i] = config.MaxBusFreq
+	}
+	for i := range p.slack {
+		instr := prof.Instr[i]
+		if instr <= 0 || p.model.CPIObs[i] <= 0 {
+			continue
+		}
+		tpiMax := p.model.TPICpu[i]
+		for ch := 0; ch < nCh; ch++ {
+			tpiMax += p.model.AlphaCh[i][ch] * p.model.TPIMemCh(ch, config.MaxBusFreq)
+		}
+		target := config.FromSeconds(instr * tpiMax * (1 + p.gamma))
+		p.slack[i] += target - elapsed
+	}
+}
+
+// Slack returns the accumulated per-core slack.
+func (p *PerChannelPolicy) Slack() []config.Time {
+	return append([]config.Time(nil), p.slack...)
+}

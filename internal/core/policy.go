@@ -1,0 +1,212 @@
+package core
+
+import (
+	"memscale/internal/config"
+	"memscale/internal/power"
+	"memscale/internal/sim"
+)
+
+// Objective selects what the frequency search minimizes.
+type Objective int
+
+// Objectives (Section 4.2.3 compares both).
+const (
+	// MinimizeSystemEnergy is full MemScale: account for the energy
+	// the rest of the server burns while memory runs slower.
+	MinimizeSystemEnergy Objective = iota
+	// MinimizeMemoryEnergy is the "MemScale (MemEnergy)" variant.
+	MinimizeMemoryEnergy
+)
+
+// Options configure the policy.
+type Options struct {
+	// NonMemPower is the fixed rest-of-system power in watts used by
+	// the system energy ratio (Equation 10).
+	NonMemPower float64
+
+	// Gamma overrides the maximum allowed performance degradation;
+	// zero uses the configuration default.
+	Gamma float64
+
+	Objective Objective
+}
+
+// Policy is the MemScale governor.
+type Policy struct {
+	cfg   *config.Config
+	model *PerfModel
+	emod  *power.Model
+	opts  Options
+	gamma float64
+
+	slack []config.Time // per-core accumulated slack (Equation 1)
+
+	chosen config.FreqMHz // frequency selected for the current epoch
+
+	// Diagnostics.
+	decisions  int
+	timeAtFreq map[config.FreqMHz]int
+}
+
+// NewPolicy builds the governor for cfg.
+func NewPolicy(cfg *config.Config, opts Options) *Policy {
+	g := opts.Gamma
+	if g == 0 {
+		g = cfg.Policy.Gamma
+	}
+	return &Policy{
+		cfg:        cfg,
+		model:      NewPerfModel(cfg),
+		emod:       power.NewModel(cfg),
+		opts:       opts,
+		gamma:      g,
+		slack:      make([]config.Time, cfg.Cores),
+		chosen:     config.MaxBusFreq,
+		timeAtFreq: map[config.FreqMHz]int{},
+	}
+}
+
+// Name implements sim.Governor.
+func (p *Policy) Name() string {
+	if p.opts.Objective == MinimizeMemoryEnergy {
+		return "memscale-memenergy"
+	}
+	return "memscale"
+}
+
+// Gamma returns the policy's performance-degradation bound.
+func (p *Policy) Gamma() float64 { return p.gamma }
+
+// Slack returns the accumulated per-core slack.
+func (p *Policy) Slack() []config.Time { return append([]config.Time(nil), p.slack...) }
+
+// ProfileComplete implements sim.Governor: fit the models to the
+// profiling window and pick the epoch frequency.
+func (p *Policy) ProfileComplete(prof sim.Profile) config.FreqMHz {
+	p.model.Fit(prof)
+	epoch := p.cfg.Policy.EpochLength
+
+	best := config.MaxBusFreq
+	bestScore := p.score(prof, config.MaxBusFreq)
+	for _, f := range config.BusFrequencies[1:] {
+		if !p.feasible(f, epoch) {
+			continue
+		}
+		if s := p.score(prof, f); s < bestScore {
+			best, bestScore = f, s
+		}
+	}
+	p.chosen = best
+	p.decisions++
+	p.timeAtFreq[best]++
+	return best
+}
+
+// feasible reports whether running the next epoch at f keeps every
+// core's accumulated slack non-negative (Equation 1 projected one
+// epoch forward).
+func (p *Policy) feasible(f config.FreqMHz, epoch config.Time) bool {
+	for i := range p.slack {
+		if p.model.CPIObs[i] <= 0 {
+			continue
+		}
+		cpiMax := p.model.CPI(i, config.MaxBusFreq)
+		cpiF := p.model.CPI(i, f)
+		if cpiF <= 0 {
+			continue
+		}
+		// Work done in an epoch at f would have taken
+		// epoch * cpiMax/cpiF at nominal frequency; the target grants
+		// (1+gamma) of that.
+		gain := config.Time(float64(epoch) * ((1 + p.gamma) * cpiMax / cpiF))
+		if p.slack[i]+gain-epoch < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// score evaluates the Equation 10 numerator (predicted energy for the
+// profiled work at f); SER's denominator is common to all candidates,
+// so minimizing the numerator minimizes SER.
+func (p *Policy) score(prof sim.Profile, f config.FreqMHz) float64 {
+	relTime := p.model.RelTime(f, prof.BusFreq)
+	mem := p.predictMemEnergy(prof, f, relTime)
+	if p.opts.Objective == MinimizeMemoryEnergy {
+		return mem
+	}
+	dur := float64(prof.Elapsed()) * relTime
+	return mem + p.opts.NonMemPower*config.Time(dur).Seconds()
+}
+
+// predictMemEnergy builds the what-if power-model interval for
+// frequency f from the profiled interval: background states stretch
+// with run time, per-access energies keep their counts, burst
+// occupancies rescale with the burst length ratio.
+func (p *Policy) predictMemEnergy(prof sim.Profile, f config.FreqMHz, relTime float64) float64 {
+	iv := prof.Interval
+	burstRatio := float64(p.model.Timing(f).Burst) / float64(p.model.Timing(prof.BusFreq).Burst)
+
+	pred := power.Interval{
+		Duration:  scaleT(iv.Duration, relTime),
+		MCBusFreq: f,
+		Channels:  make([]power.ChannelSlice, len(iv.Channels)),
+	}
+	for i := range iv.Channels {
+		pred.Channels[i] = predictChannelSlice(iv.Channels[i], f, relTime, burstRatio)
+	}
+	return p.emod.Energy(pred).Memory()
+}
+
+// predictChannelSlice rescales one channel's profiled account to a
+// candidate frequency.
+func predictChannelSlice(ch power.ChannelSlice, f config.FreqMHz, relTime, burstRatio float64) power.ChannelSlice {
+	out := power.ChannelSlice{BusFreq: f, DevFreq: f, DRAM: ch.DRAM}
+	out.DRAM.ActiveStandby = scaleT(ch.DRAM.ActiveStandby, relTime)
+	out.DRAM.PrechargeStandby = scaleT(ch.DRAM.PrechargeStandby, relTime)
+	out.DRAM.ActivePD = scaleT(ch.DRAM.ActivePD, relTime)
+	out.DRAM.PrechargePD = scaleT(ch.DRAM.PrechargePD, relTime)
+	out.DRAM.PrechargePDSlow = scaleT(ch.DRAM.PrechargePDSlow, relTime)
+	out.DRAM.Refreshing = scaleT(ch.DRAM.Refreshing, relTime)
+	out.DRAM.ReadBurst = scaleT(ch.DRAM.ReadBurst, burstRatio)
+	out.DRAM.WriteBurst = scaleT(ch.DRAM.WriteBurst, burstRatio)
+	out.DRAM.TermBurst = scaleT(ch.DRAM.TermBurst, burstRatio)
+	out.Busy = scaleT(ch.Busy, burstRatio)
+	return out
+}
+
+func scaleT(t config.Time, k float64) config.Time {
+	return config.Time(float64(t)*k + 0.5)
+}
+
+// EpochEnd implements sim.Governor: update per-core slack with the
+// epoch's actual outcome (stage 4 of Section 3.2).
+func (p *Policy) EpochEnd(prof sim.Profile) {
+	// Refit to the whole epoch so the "what would max frequency have
+	// done" estimate reflects what actually ran.
+	p.model.Fit(prof)
+	elapsed := prof.Elapsed()
+	for i := range p.slack {
+		instr := prof.Instr[i]
+		if instr <= 0 || p.model.CPIObs[i] <= 0 {
+			continue
+		}
+		// Estimated time this epoch's work would have taken at max
+		// frequency (Equation 1's T_MaxFreq), in seconds per the model.
+		tpiMax := p.model.TPICpu[i] + p.model.Alpha[i]*p.model.TPIMem(config.MaxBusFreq)
+		target := config.FromSeconds(instr * tpiMax * (1 + p.gamma))
+		p.slack[i] += target - elapsed
+	}
+}
+
+// Decisions returns how many frequency decisions the policy has made.
+func (p *Policy) Decisions() int { return p.decisions }
+
+// FreqChoices returns how often each frequency was chosen.
+func (p *Policy) FreqChoices() map[config.FreqMHz]int {
+	out := make(map[config.FreqMHz]int, len(p.timeAtFreq))
+	for f, n := range p.timeAtFreq {
+		out[f] = n
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package cpu models the in-order cores of the evaluation platform:
+// one outstanding LLC miss per core (Section 3.3), so a core's runtime
+// is exactly compute time plus memory time (Equation 2). Each core
+// replays a deterministic synthetic access stream: it retires
+// instructions at the stream's compute CPI, blocks on every read miss
+// until the memory controller delivers the line, and fires writebacks
+// alongside the misses without blocking.
+package cpu
+
+import (
+	"memscale/internal/config"
+	"memscale/internal/event"
+	"memscale/internal/memctrl"
+	"memscale/internal/trace"
+)
+
+// Core is one in-order core.
+type Core struct {
+	id     int
+	cfg    *config.Config
+	q      *event.Queue
+	mc     *memctrl.Controller
+	stream *trace.Stream
+
+	// Compute-segment state: between computeStart and the issue of the
+	// next miss, instructions retire at `rate` instructions per
+	// picosecond.
+	computing    bool
+	computeStart config.Time
+	rate         float64
+	retiredBase  float64 // instructions retired before the segment
+
+	waiting    bool
+	stallStart config.Time
+	stallTime  config.Time
+
+	reads      uint64
+	writebacks uint64
+	started    bool
+}
+
+// New builds a core that replays stream through mc.
+func New(id int, cfg *config.Config, q *event.Queue, mc *memctrl.Controller, stream *trace.Stream) *Core {
+	return &Core{id: id, cfg: cfg, q: q, mc: mc, stream: stream}
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Stream returns the access stream the core replays.
+func (c *Core) Stream() *trace.Stream { return c.stream }
+
+// Start begins execution at now.
+func (c *Core) Start(now config.Time) {
+	if c.started {
+		panic("cpu: core started twice")
+	}
+	c.started = true
+	c.beginSegment(now)
+}
+
+// beginSegment draws the next access and schedules its issue after the
+// compute gap.
+func (c *Core) beginSegment(now config.Time) {
+	acc := c.stream.Next()
+	cpuPeriod := float64(c.cfg.CPUFreqMHz.Period())
+	dur := config.Time(float64(acc.Gap)*acc.BaseCPI*cpuPeriod + 0.5)
+
+	c.computing = true
+	c.computeStart = now
+	if dur > 0 {
+		c.rate = float64(acc.Gap) / float64(dur)
+	} else {
+		c.rate = 0
+		c.retiredBase += float64(acc.Gap)
+	}
+
+	c.q.Schedule(now+dur, func(at config.Time) { c.issue(at, acc, dur > 0) })
+}
+
+// issue sends the segment's miss (and any writeback) to memory and
+// blocks the core.
+func (c *Core) issue(now config.Time, acc trace.Access, credit bool) {
+	if credit {
+		c.retiredBase += float64(now-c.computeStart) * c.rate
+	}
+	c.computing = false
+	c.waiting = true
+	c.stallStart = now
+
+	if acc.Writeback {
+		c.writebacks++
+		c.mc.Enqueue(now, acc.WBLine, true, c.id, nil)
+	}
+	c.reads++
+	c.mc.Enqueue(now, acc.Line, false, c.id, func(at config.Time) {
+		c.waiting = false
+		c.stallTime += at - c.stallStart
+		c.beginSegment(at)
+	})
+}
+
+// Instructions returns the (fractional) instructions retired by time
+// now; during a compute segment it interpolates linearly, exactly as a
+// hardware TIC counter sampled mid-segment would appear.
+func (c *Core) Instructions(now config.Time) float64 {
+	if c.computing && now > c.computeStart {
+		return c.retiredBase + float64(now-c.computeStart)*c.rate
+	}
+	return c.retiredBase
+}
+
+// CPI returns the average cycles per instruction over [0, now].
+func (c *Core) CPI(now config.Time) float64 {
+	instr := c.Instructions(now)
+	if instr <= 0 {
+		return 0
+	}
+	return c.cfg.TimeToCPUCycles(now) / instr
+}
+
+// Waiting reports whether the core is blocked on a miss.
+func (c *Core) Waiting() bool { return c.waiting }
+
+// StallTime returns the cumulative time spent blocked on misses.
+func (c *Core) StallTime() config.Time { return c.stallTime }
+
+// Reads returns the number of read misses issued.
+func (c *Core) Reads() uint64 { return c.reads }
+
+// Writebacks returns the number of writebacks issued.
+func (c *Core) Writebacks() uint64 { return c.writebacks }

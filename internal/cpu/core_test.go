@@ -1,0 +1,154 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/event"
+	"memscale/internal/memctrl"
+	"memscale/internal/trace"
+)
+
+type rig struct {
+	cfg   config.Config
+	q     *event.Queue
+	mc    *memctrl.Controller
+	cores []*Core
+}
+
+func newRig(profile trace.Profile, n int) *rig {
+	cfg := config.Default()
+	cfg.Cores = n
+	q := &event.Queue{}
+	mc := memctrl.New(&cfg, q)
+	mc.Start()
+	mapper := config.NewAddressMapper(&cfg)
+	r := &rig{cfg: cfg, q: q, mc: mc}
+	for i := 0; i < n; i++ {
+		s := trace.MustNewStream(profile, mapper, trace.Seed("cpu-test", i))
+		c := New(i, &cfg, q, mc, s)
+		c.Start(0)
+		r.cores = append(r.cores, c)
+	}
+	return r
+}
+
+func prof(baseCPI, mpki, wpki float64) trace.Profile {
+	return trace.Profile{Name: "p", Phases: []trace.Phase{
+		{BaseCPI: baseCPI, MPKI: mpki, WPKI: wpki, RowLocality: 0.3},
+	}}
+}
+
+func TestCPIMatchesAnalyticModel(t *testing.T) {
+	// Single core, no contention: CPI should be
+	// BaseCPI + alpha * memLatency * Fcpu.
+	r := newRig(prof(1.0, 5.0, 0), 1)
+	horizon := 20 * config.Millisecond
+	r.q.RunUntil(horizon)
+	core := r.cores[0]
+	instr := core.Instructions(horizon)
+	if instr < 1e6 {
+		t.Fatalf("only %.0f instructions retired", instr)
+	}
+	gotCPI := core.CPI(horizon)
+
+	// Uncontended memory latency: MC + tRCD + tCL + burst (closed
+	// page, almost every access is a closed miss).
+	tm := r.mc.Timing()
+	lat := (tm.MC + tm.TRCD + tm.TCL + tm.Burst).Seconds()
+	alpha := 5.0 / 1000
+	wantCPI := 1.0 + alpha*lat*r.cfg.CPUFreqMHz.Hz()
+	if math.Abs(gotCPI-wantCPI)/wantCPI > 0.10 {
+		t.Errorf("CPI = %.3f, want ~%.3f (within 10%%)", gotCPI, wantCPI)
+	}
+
+	// Stall accounting closes the Equation 2 identity:
+	// total time = compute + stall.
+	compute := config.Time(instr * 1.0 * float64(r.cfg.CPUFreqMHz.Period()))
+	gap := horizon - compute - core.StallTime()
+	if math.Abs(float64(gap)) > 0.02*float64(horizon) {
+		t.Errorf("time identity broken: compute %v + stall %v != %v",
+			compute, core.StallTime(), horizon)
+	}
+}
+
+func TestInstructionInterpolation(t *testing.T) {
+	// With a very low miss rate the core is almost always computing;
+	// sampled instruction counts must advance smoothly.
+	r := newRig(prof(2.0, 0.01, 0), 1)
+	core := r.cores[0]
+	var prev float64
+	for i := 1; i <= 10; i++ {
+		at := config.Time(i) * 100 * config.Microsecond
+		r.q.RunUntil(at)
+		got := core.Instructions(at)
+		if got <= prev {
+			t.Fatalf("instructions did not advance at %v: %f -> %f", at, prev, got)
+		}
+		// 2.0 CPI at 4 GHz -> 2e9 instr/s -> 200k per 100 us.
+		want := float64(i) * 200_000
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("instructions at %v = %.0f, want ~%.0f", at, got, want)
+		}
+		prev = got
+	}
+}
+
+func TestWritebacksIssued(t *testing.T) {
+	r := newRig(prof(1.0, 10.0, 5.0), 1)
+	r.q.RunUntil(5 * config.Millisecond)
+	core := r.cores[0]
+	if core.Writebacks() == 0 {
+		t.Fatal("no writebacks issued")
+	}
+	ratio := float64(core.Writebacks()) / float64(core.Reads())
+	if math.Abs(ratio-0.5) > 0.1 {
+		t.Errorf("WB/read ratio = %.2f, want ~0.5", ratio)
+	}
+	ctr := r.mc.Counters()
+	if ctr.Writebacks == 0 {
+		t.Error("controller saw no writebacks")
+	}
+}
+
+func TestMultiCoreContentionRaisesCPI(t *testing.T) {
+	solo := newRig(prof(0.8, 20.0, 0), 1)
+	loaded := newRig(prof(0.8, 20.0, 0), 16)
+	horizon := 10 * config.Millisecond
+	solo.q.RunUntil(horizon)
+	loaded.q.RunUntil(horizon)
+	soloCPI := solo.cores[0].CPI(horizon)
+	var worst float64
+	for _, c := range loaded.cores {
+		if cpi := c.CPI(horizon); cpi > worst {
+			worst = cpi
+		}
+	}
+	if worst <= soloCPI {
+		t.Errorf("16-core contention (%.3f) not above solo CPI (%.3f)", worst, soloCPI)
+	}
+}
+
+func TestTLMMatchesCoreReads(t *testing.T) {
+	r := newRig(prof(1.0, 2.0, 0), 4)
+	r.q.RunUntil(5 * config.Millisecond)
+	ctr := r.mc.Counters()
+	for i, c := range r.cores {
+		// TLM counts misses that reached memory; the core may have one
+		// in flight.
+		if d := int64(c.Reads()) - int64(ctr.TLM[i]); d < 0 || d > 1 {
+			t.Errorf("core %d: reads %d vs TLM %d", i, c.Reads(), ctr.TLM[i])
+		}
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	r := newRig(prof(1.0, 1.0, 0), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Start must panic")
+		}
+	}()
+	r.cores[0].Start(0)
+}

@@ -1,0 +1,462 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memscale/internal/config"
+)
+
+func resolved(bus config.FreqMHz) *Resolved {
+	r := Resolve(config.DefaultDDR3Timing(), bus, bus)
+	return &r
+}
+
+func TestResolveAtNominal(t *testing.T) {
+	r := resolved(config.Freq800)
+	// 15 ns is exactly 12 cycles at 800 MHz: no quantization error.
+	if r.TRCD != 15*config.Nanosecond || r.TCL != 15*config.Nanosecond {
+		t.Errorf("tRCD/tCL = %v/%v, want 15ns", r.TRCD, r.TCL)
+	}
+	if r.Burst != 5*config.Nanosecond {
+		t.Errorf("burst = %v, want 5ns", r.Burst)
+	}
+	if r.MC != 3125*config.Picosecond {
+		t.Errorf("MC = %v, want 3.125ns", r.MC)
+	}
+}
+
+func TestResolveQuantization(t *testing.T) {
+	// Device-core latencies never fall below their wall-clock spec and
+	// quantize up by at most one clock period; the burst and MC times
+	// grow strictly as frequency drops.
+	spec := config.DefaultDDR3Timing()
+	prev := resolved(config.BusFrequencies[0])
+	for _, f := range config.BusFrequencies {
+		cur := resolved(f)
+		period := f.Period()
+		for _, p := range []struct {
+			name      string
+			got, want config.Time
+		}{
+			{"tRCD", cur.TRCD, spec.TRCD},
+			{"tRP", cur.TRP, spec.TRP},
+			{"tCL", cur.TCL, spec.TCL},
+			{"tRAS", cur.TRAS, spec.TRAS},
+			{"tRFC", cur.TRFC, spec.TRFC},
+		} {
+			if p.got < p.want || p.got >= p.want+period {
+				t.Errorf("%v %s = %v, want in [%v, %v)", f, p.name, p.got, p.want, p.want+period)
+			}
+		}
+		if f != config.BusFrequencies[0] {
+			if cur.Burst <= prev.Burst {
+				t.Errorf("burst did not grow from %v to %v", prev.BusFreq, f)
+			}
+			if cur.MC <= prev.MC {
+				t.Errorf("MC latency did not grow from %v to %v", prev.BusFreq, f)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestResolveDecoupled(t *testing.T) {
+	r := Resolve(config.DefaultDDR3Timing(), config.Freq800, config.Freq400)
+	if r.Burst != 5*config.Nanosecond {
+		t.Errorf("channel burst = %v, want 5ns", r.Burst)
+	}
+	if r.DevBurst != 10*config.Nanosecond {
+		t.Errorf("device burst = %v, want 10ns", r.DevBurst)
+	}
+	// Device timings quantize at the device clock (2.5 ns): 15 ns is
+	// exactly 6 cycles.
+	if r.TRCD != 15*config.Nanosecond {
+		t.Errorf("decoupled tRCD = %v", r.TRCD)
+	}
+}
+
+func TestAccessKindLatency(t *testing.T) {
+	r := resolved(config.Freq800)
+	if got := r.Latency(RowHit); got != r.TCL {
+		t.Errorf("hit latency = %v", got)
+	}
+	if got := r.Latency(ClosedMiss); got != r.TRCD+r.TCL {
+		t.Errorf("closed-miss latency = %v", got)
+	}
+	if got := r.Latency(OpenMiss); got != r.TRP+r.TRCD+r.TCL {
+		t.Errorf("open-miss latency = %v", got)
+	}
+	for k, name := range map[AccessKind]string{RowHit: "row-hit", ClosedMiss: "closed-miss", OpenMiss: "open-miss"} {
+		if k.String() != name {
+			t.Errorf("kind %d string = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestClosedMissAccess(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	ready, kind, pdExit := r.StartAccess(1000, 0, 42)
+	if kind != ClosedMiss || pdExit {
+		t.Fatalf("kind=%v pdExit=%v", kind, pdExit)
+	}
+	if want := config.Time(1000) + tm.TRCD + tm.TCL; ready != want {
+		t.Errorf("ready = %v, want %v", ready, want)
+	}
+	if r.OpenRow(0) != 42 {
+		t.Errorf("row not open after activation")
+	}
+	busStart := ready
+	busEnd := busStart + tm.Burst
+	pd := r.FinishAccess(0, busStart, busEnd, false, false)
+	// Precharge cannot start before actAt + tRAS = 1000 + 35ns.
+	if want := config.MaxTime(busEnd, 1000+tm.TRAS) + tm.TRP; pd != want {
+		t.Errorf("prechargeDone = %v, want %v", pd, want)
+	}
+	r.PrechargeDone(pd, 0)
+	if r.OpenRow(0) != -1 {
+		t.Error("row still open after precharge")
+	}
+	if free, ok := r.BankFreeAt(0); !ok || free != pd {
+		t.Errorf("bank free at %v/%v, want %v", free, ok, pd)
+	}
+}
+
+func TestRowHitKeepOpen(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	ready, _, _ := r.StartAccess(0, 3, 7)
+	busEnd := ready + tm.Burst
+	r.FinishAccess(3, ready, busEnd, false, true) // keep open
+	if r.OpenRow(3) != 7 {
+		t.Fatal("row should remain open")
+	}
+	ready2, kind, _ := r.StartAccess(busEnd, 3, 7)
+	if kind != RowHit {
+		t.Fatalf("second access kind = %v, want row-hit", kind)
+	}
+	if want := busEnd + tm.TCL; ready2 != want {
+		t.Errorf("hit ready = %v, want %v", ready2, want)
+	}
+}
+
+func TestOpenMiss(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	ready, _, _ := r.StartAccess(0, 3, 7)
+	busEnd := ready + tm.Burst
+	r.FinishAccess(3, ready, busEnd, false, true) // row 7 left open
+	start := busEnd + 100*config.Nanosecond       // past tRRD/tFAW windows
+	ready2, kind, _ := r.StartAccess(start, 3, 9)
+	if kind != OpenMiss {
+		t.Fatalf("kind = %v, want open-miss", kind)
+	}
+	if want := start + tm.TRP + tm.TRCD + tm.TCL; ready2 != want {
+		t.Errorf("open-miss ready = %v, want %v", ready2, want)
+	}
+}
+
+func TestTRRDSpacing(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	// Two activations to different banks at the same instant: the
+	// second must wait tRRD.
+	ready0, _, _ := r.StartAccess(0, 0, 1)
+	ready1, _, _ := r.StartAccess(0, 1, 1)
+	if want := tm.TRRD + tm.TRCD + tm.TCL; ready1 != want {
+		t.Errorf("second activation ready = %v, want %v (tRRD-delayed)", ready1, want)
+	}
+	_ = ready0
+}
+
+func TestTFAWWindow(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	// Five activations at once: the fifth must wait for the tFAW
+	// window of the first four.
+	var lastReady config.Time
+	for b := 0; b < 5; b++ {
+		lastReady, _, _ = r.StartAccess(0, b, 1)
+	}
+	// Activation 5 (index 4) cannot be earlier than act0 + tFAW.
+	minReady := tm.TFAW + tm.TRCD + tm.TCL
+	if lastReady < minReady {
+		t.Errorf("fifth activation ready = %v, want >= %v", lastReady, minReady)
+	}
+}
+
+func TestPowerdownCycle(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	if !r.Idle(0) {
+		t.Fatal("fresh rank should be idle")
+	}
+	if !r.EnterPowerdown(1000, false) {
+		t.Fatal("EnterPowerdown failed on idle rank")
+	}
+	if r.InPowerdown() != PDFast {
+		t.Errorf("pd state = %v", r.InPowerdown())
+	}
+	if r.EnterPowerdown(1000, false) {
+		t.Error("double powerdown must fail")
+	}
+	now := config.Time(10_000_000) // 10 us in PD
+	ready, kind, pdExit := r.StartAccess(now, 0, 5)
+	if !pdExit {
+		t.Error("access out of PD must flag a powerdown exit")
+	}
+	if kind != ClosedMiss {
+		t.Errorf("kind = %v", kind)
+	}
+	if want := now + tm.TXP + tm.TRCD + tm.TCL; ready != want {
+		t.Errorf("ready = %v, want %v (tXP penalty)", ready, want)
+	}
+	acct := r.Flush(now)
+	if acct.PDExits != 1 {
+		t.Errorf("PDExits = %d", acct.PDExits)
+	}
+	if acct.PrechargePD == 0 {
+		t.Error("no precharge-PD time accounted")
+	}
+}
+
+func TestSlowPowerdownExit(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	r.EnterPowerdown(0, true)
+	if r.InPowerdown() != PDSlow {
+		t.Fatalf("pd state = %v", r.InPowerdown())
+	}
+	ready, _, _ := r.StartAccess(1000, 0, 5)
+	if want := config.Time(1000) + tm.TXPDLL + tm.TRCD + tm.TCL; ready != want {
+		t.Errorf("ready = %v, want %v (tXPDLL penalty)", ready, want)
+	}
+}
+
+func TestPowerdownRefusedWhenBusy(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	ready, _, _ := r.StartAccess(0, 0, 1)
+	if r.EnterPowerdown(ready, false) {
+		t.Error("powerdown with in-service bank must fail")
+	}
+	busEnd := ready + tm.Burst
+	pd := r.FinishAccess(0, ready, busEnd, false, false)
+	if r.EnterPowerdown(busEnd, false) {
+		t.Error("powerdown with open row must fail")
+	}
+	r.PrechargeDone(pd, 0)
+	if !r.EnterPowerdown(pd, false) {
+		t.Error("powerdown after precharge must succeed")
+	}
+}
+
+func TestRefreshCycle(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	r.SetRefreshPending()
+	if !r.RefreshBlocked() {
+		t.Fatal("pending refresh must block dispatch")
+	}
+	until, ok := r.TryStartRefresh(1000)
+	if !ok {
+		t.Fatal("refresh on idle rank must start")
+	}
+	if want := config.Time(1000) + tm.TRFC; until != want {
+		t.Errorf("refresh until %v, want %v", until, want)
+	}
+	r.RefreshDone(until)
+	if r.RefreshBlocked() {
+		t.Error("refresh still blocking after completion")
+	}
+	acct := r.Flush(until)
+	if acct.Refreshes != 1 {
+		t.Errorf("Refreshes = %d", acct.Refreshes)
+	}
+	if acct.Refreshing != tm.TRFC {
+		t.Errorf("Refreshing time = %v, want %v", acct.Refreshing, tm.TRFC)
+	}
+}
+
+func TestRefreshWaitsForService(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	ready, _, _ := r.StartAccess(0, 0, 1)
+	r.SetRefreshPending()
+	if _, ok := r.TryStartRefresh(10); ok {
+		t.Fatal("refresh must not start while a bank is in service")
+	}
+	busEnd := ready + tm.Burst
+	pdAt := r.FinishAccess(0, ready, busEnd, false, false)
+	until, ok := r.TryStartRefresh(busEnd)
+	if !ok {
+		t.Fatal("refresh must start once service completes")
+	}
+	// The refresh begins only after the precharge completes, plus a
+	// precharge-all for the still-open row is unnecessary here since
+	// FinishAccess scheduled an auto-precharge; but the row is still
+	// formally open, so TryStartRefresh closes it.
+	if until < pdAt {
+		t.Errorf("refresh until %v earlier than outstanding precharge %v", until, pdAt)
+	}
+}
+
+func TestRefreshOutOfPowerdown(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	r.EnterPowerdown(0, false)
+	r.SetRefreshPending()
+	until, ok := r.TryStartRefresh(1000)
+	if !ok {
+		t.Fatal("refresh out of PD must start")
+	}
+	if want := config.Time(1000) + tm.TXP + tm.TRFC; until != want {
+		t.Errorf("refresh until %v, want %v (tXP first)", until, want)
+	}
+	if r.InPowerdown() != PDNone {
+		t.Error("rank must be awake after refresh start")
+	}
+}
+
+func TestAccountingPartition(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	// Idle 1 us -> precharge standby.
+	// Access opens a row; hold it open 1 us -> active standby.
+	end := config.Time(config.Microsecond)
+	ready, _, _ := r.StartAccess(end, 0, 1)
+	busEnd := ready + tm.Burst
+	r.FinishAccess(0, ready, busEnd, false, true)
+	holdUntil := busEnd + config.Microsecond
+	acct := r.Flush(holdUntil)
+	if acct.PrechargeStandby < config.Microsecond {
+		t.Errorf("precharge standby = %v, want >= 1us", acct.PrechargeStandby)
+	}
+	if acct.ActiveStandby < config.Microsecond {
+		t.Errorf("active standby = %v, want >= 1us", acct.ActiveStandby)
+	}
+	if got := acct.Total(); got != holdUntil {
+		t.Errorf("accounted total = %v, want %v", got, holdUntil)
+	}
+	if acct.ReadBurst != tm.Burst {
+		t.Errorf("read burst = %v, want %v", acct.ReadBurst, tm.Burst)
+	}
+	if acct.Activations != 1 {
+		t.Errorf("activations = %d", acct.Activations)
+	}
+	// Flush resets.
+	again := r.Flush(holdUntil)
+	if again.Total() != 0 || again.Activations != 0 {
+		t.Error("Flush did not reset the account")
+	}
+}
+
+func TestAccountFractions(t *testing.T) {
+	a := Account{PrechargeStandby: 600, PrechargePD: 200, ActiveStandby: 100, ActivePD: 100}
+	if got := a.PrechargedFraction(); got != 0.8 {
+		t.Errorf("PrechargedFraction = %g", got)
+	}
+	if got := a.PrechargePDFraction(); got != 0.2 {
+		t.Errorf("PrechargePDFraction = %g", got)
+	}
+	if got := a.ActivePDFraction(); got != 0.1 {
+		t.Errorf("ActivePDFraction = %g", got)
+	}
+	var zero Account
+	if zero.PrechargedFraction() != 1 || zero.PrechargePDFraction() != 0 {
+		t.Error("zero account fractions wrong")
+	}
+}
+
+func TestAccountAdd(t *testing.T) {
+	a := Account{ActiveStandby: 1, Activations: 2, ReadBurst: 3}
+	b := Account{ActiveStandby: 10, Activations: 20, ReadBurst: 30, PDExits: 1}
+	a.Add(b)
+	if a.ActiveStandby != 11 || a.Activations != 22 || a.ReadBurst != 33 || a.PDExits != 1 {
+		t.Errorf("Add result: %+v", a)
+	}
+}
+
+// TestAccountingConservation: regardless of the operation sequence,
+// flushed state durations always sum to the elapsed time.
+func TestAccountingConservation(t *testing.T) {
+	tm := resolved(config.Freq800)
+	f := func(ops []uint8) bool {
+		r := NewRank(8, tm)
+		now := config.Time(0)
+		inSvc := map[int]config.Time{} // bank -> ready
+		var total Account
+		for _, op := range ops {
+			bank := int(op) % 8
+			now += config.Time(op) * config.Nanosecond
+			switch {
+			case op%5 == 0:
+				if len(inSvc) == 0 && r.Idle(now) {
+					r.EnterPowerdown(now, op%2 == 0)
+				}
+			case op%5 == 1 || op%5 == 2:
+				if _, busy := inSvc[bank]; !busy {
+					if free, ok := r.BankFreeAt(bank); ok && free <= now {
+						ready, _, _ := r.StartAccess(now, bank, int(op)/8)
+						inSvc[bank] = ready
+					}
+				}
+			default:
+				if ready, busy := inSvc[bank]; busy {
+					busStart := config.MaxTime(now, ready)
+					busEnd := busStart + tm.Burst
+					pd := r.FinishAccess(bank, busStart, busEnd, op%2 == 0, false)
+					r.PrechargeDone(pd, bank)
+					if pd > now {
+						now = pd
+					}
+					delete(inSvc, bank)
+				}
+			}
+		}
+		// Drain.
+		for bank, ready := range inSvc {
+			busStart := config.MaxTime(now, ready)
+			busEnd := busStart + tm.Burst
+			pd := r.FinishAccess(bank, busStart, busEnd, false, false)
+			r.PrechargeDone(pd, bank)
+			if pd > now {
+				now = pd
+			}
+		}
+		total.Add(r.Flush(now))
+		return total.Total() == now
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStartAccessPanics(t *testing.T) {
+	tm := resolved(config.Freq800)
+	r := NewRank(8, tm)
+	r.StartAccess(0, 0, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("StartAccess on in-service bank must panic")
+			}
+		}()
+		r.StartAccess(0, 0, 2)
+	}()
+	// A pending refresh does not forbid StartAccess (the controller
+	// pipeline may still deliver an in-flight request), but a running
+	// refresh does.
+	r2 := NewRank(8, tm)
+	r2.SetRefreshPending()
+	r2.TryStartRefresh(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("StartAccess during running refresh must panic")
+			}
+		}()
+		r2.StartAccess(0, 0, 1)
+	}()
+}

@@ -1,0 +1,182 @@
+// Package event implements the discrete-event simulation engine that
+// drives the MemScale memory-system simulator.
+//
+// The engine is a deterministic single-threaded priority queue of
+// timestamped callbacks. Events scheduled for the same instant fire in
+// the order they were scheduled, which keeps every simulation run
+// exactly reproducible.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+
+	"memscale/internal/config"
+)
+
+// Handler is a callback invoked when an event fires.
+type Handler func(now config.Time)
+
+// Event is a scheduled occurrence. It is returned by Schedule so the
+// caller can cancel it later.
+type Event struct {
+	at      config.Time
+	seq     uint64
+	fn      Handler
+	index   int // heap index; -1 when not queued
+	cancel  bool
+	comment string
+}
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() config.Time { return e.at }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+// Queue is the event priority queue and simulation clock.
+// The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	now config.Time
+	seq uint64
+
+	fired     uint64
+	scheduled uint64
+}
+
+// Now returns the current simulated time.
+func (q *Queue) Now() config.Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Fired returns the number of events executed so far.
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// ScheduledTotal returns the number of events ever scheduled.
+func (q *Queue) ScheduledTotal() uint64 { return q.scheduled }
+
+// Schedule queues fn to run at time at. Scheduling in the past (before
+// Now) panics: that is always a simulator bug, and silently clamping
+// would corrupt causality.
+func (q *Queue) Schedule(at config.Time, fn Handler) *Event {
+	if at < q.now {
+		panic(fmt.Sprintf("event: scheduling at %v before now %v", at, q.now))
+	}
+	if fn == nil {
+		panic("event: nil handler")
+	}
+	q.seq++
+	q.scheduled++
+	e := &Event{at: at, seq: q.seq, fn: fn, index: -1}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// After queues fn to run d after the current time.
+func (q *Queue) After(d config.Time, fn Handler) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("event: negative delay %v", d))
+	}
+	return q.Schedule(q.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already
+// cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		return
+	}
+	e.cancel = true
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It returns false when no events remain.
+func (q *Queue) Step() bool {
+	for len(q.h) > 0 {
+		e := heap.Pop(&q.h).(*Event)
+		e.index = -1
+		if e.cancel {
+			continue
+		}
+		q.now = e.at
+		q.fired++
+		e.fn(q.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the next event would fire
+// after the deadline (or no events remain), then advances the clock to
+// exactly the deadline. Events at the deadline itself do fire.
+func (q *Queue) RunUntil(deadline config.Time) {
+	if deadline < q.now {
+		panic(fmt.Sprintf("event: RunUntil(%v) before now %v", deadline, q.now))
+	}
+	for len(q.h) > 0 && q.h[0].at <= deadline {
+		if !q.Step() {
+			break
+		}
+	}
+	q.now = deadline
+}
+
+// Run executes events until the queue is empty or limit events have
+// fired; limit <= 0 means no limit. It returns the number of events
+// executed.
+func (q *Queue) Run(limit uint64) uint64 {
+	var n uint64
+	for limit <= 0 || n < limit {
+		if !q.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// NextAt returns the timestamp of the next pending event and whether
+// one exists.
+func (q *Queue) NextAt() (config.Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+// eventHeap orders by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,229 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"memscale/internal/config"
+)
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	var q Queue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(100, func(config.Time) { order = append(order, i) })
+	}
+	q.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of order: %v", order)
+		}
+	}
+	if q.Now() != 100 {
+		t.Errorf("clock = %v, want 100", q.Now())
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	var q Queue
+	times := []config.Time{50, 10, 30, 20, 40, 10, 50}
+	var fired []config.Time
+	for _, at := range times {
+		q.Schedule(at, func(now config.Time) { fired = append(fired, now) })
+	}
+	q.Run(0)
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("events fired out of time order: %v", fired)
+	}
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	ran := false
+	e := q.Schedule(10, func(config.Time) { ran = true })
+	if !e.Scheduled() {
+		t.Error("event should report scheduled")
+	}
+	q.Cancel(e)
+	if e.Scheduled() {
+		t.Error("cancelled event still reports scheduled")
+	}
+	q.Run(0)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	q.Cancel(e) // double cancel is a no-op
+	q.Cancel(nil)
+}
+
+func TestCancelFromHandler(t *testing.T) {
+	var q Queue
+	ran := false
+	victim := q.Schedule(20, func(config.Time) { ran = true })
+	q.Schedule(10, func(config.Time) { q.Cancel(victim) })
+	q.Run(0)
+	if ran {
+		t.Error("event cancelled from an earlier handler still ran")
+	}
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	var q Queue
+	var seen []config.Time
+	q.Schedule(10, func(now config.Time) {
+		seen = append(seen, now)
+		q.After(5, func(now config.Time) { seen = append(seen, now) })
+	})
+	q.Run(0)
+	if len(seen) != 2 || seen[0] != 10 || seen[1] != 15 {
+		t.Fatalf("nested scheduling: %v", seen)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var fired []config.Time
+	for _, at := range []config.Time{5, 10, 15, 20} {
+		q.Schedule(at, func(now config.Time) { fired = append(fired, now) })
+	}
+	q.RunUntil(10)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(10) fired %d events, want 2 (inclusive)", len(fired))
+	}
+	if q.Now() != 10 {
+		t.Errorf("clock = %v after RunUntil(10)", q.Now())
+	}
+	q.RunUntil(100)
+	if len(fired) != 4 {
+		t.Errorf("fired %d total, want 4", len(fired))
+	}
+	if q.Now() != 100 {
+		t.Errorf("clock must land on the deadline, got %v", q.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(10, func(config.Time) {})
+	q.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past must panic")
+		}
+	}()
+	q.Schedule(5, func(config.Time) {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After delay must panic")
+		}
+	}()
+	q.After(-1, func(config.Time) {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler must panic")
+		}
+	}()
+	q.Schedule(1, nil)
+}
+
+func TestCounters(t *testing.T) {
+	var q Queue
+	for i := 0; i < 5; i++ {
+		q.Schedule(config.Time(i), func(config.Time) {})
+	}
+	e := q.Schedule(99, func(config.Time) {})
+	q.Cancel(e)
+	q.Run(0)
+	if q.ScheduledTotal() != 6 {
+		t.Errorf("ScheduledTotal = %d, want 6", q.ScheduledTotal())
+	}
+	if q.Fired() != 5 {
+		t.Errorf("Fired = %d, want 5", q.Fired())
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	var q Queue
+	if _, ok := q.NextAt(); ok {
+		t.Error("empty queue should have no next event")
+	}
+	q.Schedule(42, func(config.Time) {})
+	if at, ok := q.NextAt(); !ok || at != 42 {
+		t.Errorf("NextAt = %v, %v", at, ok)
+	}
+}
+
+// TestRandomizedOrdering is a property test: for any batch of events
+// with random times and random cancellations, the survivors fire in
+// nondecreasing time order and cancelled events never fire.
+func TestRandomizedOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		count := int(n%64) + 1
+		type rec struct {
+			ev        *Event
+			cancelled bool
+		}
+		recs := make([]*rec, count)
+		firedAt := make([]config.Time, 0, count)
+		for i := 0; i < count; i++ {
+			r := &rec{}
+			recs[i] = r
+			at := config.Time(rng.Intn(1000))
+			r.ev = q.Schedule(at, func(now config.Time) {
+				if r.cancelled {
+					t.Errorf("cancelled event fired at %v", now)
+				}
+				firedAt = append(firedAt, now)
+			})
+		}
+		survivors := count
+		for _, r := range recs {
+			if rng.Intn(3) == 0 {
+				r.cancelled = true
+				q.Cancel(r.ev)
+				survivors--
+			}
+		}
+		q.Run(0)
+		if len(firedAt) != survivors {
+			return false
+		}
+		return sort.SliceIsSorted(firedAt, func(i, j int) bool { return firedAt[i] < firedAt[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	var q Queue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(q.Now()+config.Time(i%128), func(config.Time) {})
+		if q.Len() > 1024 {
+			for q.Len() > 512 {
+				q.Step()
+			}
+		}
+	}
+	q.Run(0)
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/workload"
+)
+
+func TestVerifyPartitioning(t *testing.T) {
+	cfg := config.Default()
+	mix := futureMixes[0]
+	spread, err := VerifyPartitioning(&cfg, mix, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spread) != 4 {
+		t.Fatalf("spread covers %d apps, want 4", len(spread))
+	}
+	// Each app must be confined to exactly one channel.
+	used := map[int]string{}
+	for app, channels := range spread {
+		if len(channels) != 1 {
+			t.Errorf("app %s touched %d channels, want 1 (%v)", app, len(channels), channels)
+		}
+		for ch := range channels {
+			if prev, taken := used[ch]; taken {
+				t.Errorf("channel %d shared by %s and %s", ch, prev, app)
+			}
+			used[ch] = app
+		}
+	}
+}
+
+func TestFutureMixesValid(t *testing.T) {
+	for _, mix := range futureMixes {
+		for _, app := range mix.Apps {
+			if _, err := workload.App(app); err != nil {
+				t.Errorf("mix %s references unknown app %q", mix.Name, app)
+			}
+		}
+		// The pairings must be heterogeneous: at least one app over
+		// 10 MPKI and one under 1 MPKI.
+		var hi, lo bool
+		for _, app := range mix.Apps {
+			p, _ := workload.App(app)
+			switch {
+			case p.Phases[0].MPKI >= 10:
+				hi = true
+			case p.Phases[0].MPKI <= 1:
+				lo = true
+			}
+		}
+		if !hi || !lo {
+			t.Errorf("mix %s is not heterogeneous enough (hi=%v lo=%v)", mix.Name, hi, lo)
+		}
+	}
+}
+
+func TestFutureWorkSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six full simulations")
+	}
+	p := quickParams()
+	r, err := p.FutureWork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 4 { // 2 mixes x 2 policies
+		t.Errorf("futurework has %d rows, want 4", len(r.Table.Rows))
+	}
+}

@@ -1,0 +1,210 @@
+// Package exp reproduces the paper's evaluation: one driver per table
+// and figure (Table 1-2, Figures 2, 5-15, and the Section 4.2.4 extra
+// studies). Each driver runs the relevant workload x policy grid on
+// the simulator and renders the same rows/series the paper reports,
+// as ASCII tables and optional CSV.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"memscale/internal/config"
+	"memscale/internal/core"
+	"memscale/internal/policies"
+	"memscale/internal/power"
+	"memscale/internal/sim"
+	"memscale/internal/stats"
+	"memscale/internal/workload"
+)
+
+// Params scale the experiments. The defaults run each (mix, policy)
+// pair for 10 OS quanta (50 ms of simulated time), long enough for the
+// slack controller to settle while keeping the full reproduction under
+// an hour of host time; the paper's trends are stable at this scale.
+type Params struct {
+	// Epochs is the number of OS quanta per run.
+	Epochs int
+
+	// TimelineEpochs is the run length of the Figure 7/8 timelines.
+	TimelineEpochs int
+
+	// Gamma is the allowed performance degradation (default 0.10).
+	Gamma float64
+
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+
+	// baselines caches baseline runs across figures: many experiments
+	// share the exact same unmanaged run (the baseline is independent
+	// of policy and of gamma), so re-simulating it per pair would
+	// dominate the harness run time.
+	baselines *baselineCache
+}
+
+type baselineCache struct {
+	entries map[string]baselineEntry
+}
+
+type baselineEntry struct {
+	res    sim.Result
+	nonMem float64
+}
+
+// DefaultParams returns the standard experiment scale.
+func DefaultParams() Params {
+	return Params{
+		Epochs:         10,
+		TimelineEpochs: 20,
+		Gamma:          0.10,
+		baselines:      &baselineCache{entries: map[string]baselineEntry{}},
+	}
+}
+
+func (p Params) runDuration(cfg *config.Config) config.Time {
+	return config.Time(p.Epochs) * cfg.Policy.EpochLength
+}
+
+func (p Params) logf(format string, args ...any) {
+	if p.Progress != nil {
+		fmt.Fprintf(p.Progress, format+"\n", args...)
+	}
+}
+
+// Report is one rendered experiment.
+type Report struct {
+	ID    string // e.g. "figure5"
+	Title string
+	Table stats.Table
+}
+
+// Render writes the report's table to w.
+func (r Report) Render(w io.Writer) { r.Table.Render(w) }
+
+// Outcome is one (mix, policy) run paired with its baseline.
+type Outcome struct {
+	Mix    workload.Mix
+	Policy string
+	NonMem float64 // rest-of-system watts used for both runs
+	Base   sim.Result
+	Res    sim.Result
+}
+
+func (o Outcome) systemEnergy(r sim.Result) float64 {
+	return r.Memory.Memory() + o.NonMem*r.Duration.Seconds()
+}
+
+// MemorySavings returns the memory-subsystem energy savings vs the
+// baseline.
+func (o Outcome) MemorySavings() float64 {
+	return 1 - o.Res.Memory.Memory()/o.Base.Memory.Memory()
+}
+
+// SystemSavings returns the full-system energy savings vs the baseline.
+func (o Outcome) SystemSavings() float64 {
+	return 1 - o.systemEnergy(o.Res)/o.systemEnergy(o.Base)
+}
+
+// CPIIncrease returns the multiprogram-average and worst-application
+// CPI increases vs the baseline (the Figure 6 metrics). Application
+// CPI is the mean over its replicated instances.
+func (o Outcome) CPIIncrease() (avg, worst float64) {
+	perApp := map[string]*stats.Series{}
+	basePerApp := map[string]*stats.Series{}
+	for i := range o.Res.CPI {
+		app := o.Mix.Assignment(i)
+		if perApp[app] == nil {
+			perApp[app] = &stats.Series{}
+			basePerApp[app] = &stats.Series{}
+		}
+		perApp[app].Add(o.Res.CPI[i])
+		basePerApp[app].Add(o.Base.CPI[i])
+	}
+	var s stats.Series
+	for app, cur := range perApp {
+		inc := cur.Mean()/basePerApp[app].Mean() - 1
+		s.Add(inc)
+	}
+	return s.Mean(), s.Max()
+}
+
+// runBaseline runs the mix with the unmanaged memory system and
+// derives the rest-of-system power from its average DIMM power.
+// Results are cached: the baseline depends only on the configuration
+// and mix (gamma is irrelevant — no governor runs), and many
+// experiments revisit the same pair.
+func (p Params) runBaseline(cfg config.Config, mix workload.Mix) (sim.Result, float64, error) {
+	var key string
+	if p.baselines != nil {
+		norm := cfg
+		norm.Policy.Gamma = 0
+		key = fmt.Sprintf("%s|%d|%+v", mix.Name, p.Epochs, norm)
+		if e, ok := p.baselines.entries[key]; ok {
+			return e.res, e.nonMem, nil
+		}
+	}
+	streams, err := mix.Streams(&cfg)
+	if err != nil {
+		return sim.Result{}, 0, err
+	}
+	s, err := sim.New(cfg, streams, sim.Options{})
+	if err != nil {
+		return sim.Result{}, 0, err
+	}
+	res := s.RunFor(p.runDuration(&cfg))
+	nonMem := power.NewModel(&cfg).RestOfSystemPower(res.DIMMAvgWatts)
+	if p.baselines != nil {
+		p.baselines.entries[key] = baselineEntry{res: res, nonMem: nonMem}
+	}
+	return res, nonMem, nil
+}
+
+// runPair runs (mix, spec) against its baseline under a possibly
+// mutated configuration and returns the paired outcome.
+func (p Params) runPair(mutate func(*config.Config), mix workload.Mix, spec policies.Spec) (Outcome, error) {
+	baseCfg := config.Default()
+	if p.Gamma > 0 {
+		baseCfg.Policy.Gamma = p.Gamma
+	}
+	if mutate != nil {
+		mutate(&baseCfg)
+	}
+
+	base, nonMem, err := p.runBaseline(baseCfg, mix)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	cfg := baseCfg
+	if spec.Configure != nil {
+		spec.Configure(&cfg)
+	}
+	streams, err := mix.Streams(&cfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	var gov sim.Governor
+	if spec.Governor != nil {
+		gov = spec.Governor(&cfg, nonMem)
+	}
+	s, err := sim.New(cfg, streams, sim.Options{Governor: gov, NonMemPower: nonMem})
+	if err != nil {
+		return Outcome{}, err
+	}
+	res := s.RunFor(p.runDuration(&cfg))
+	p.logf("  %-8s %-20s mem %-7s sys %-7s", mix.Name, spec.Name,
+		stats.Pct(1-res.Memory.Memory()/base.Memory.Memory()),
+		stats.Pct(1-(res.Memory.Memory()+nonMem*res.Duration.Seconds())/
+			(base.Memory.Memory()+nonMem*base.Duration.Seconds())))
+	return Outcome{Mix: mix, Policy: spec.Name, NonMem: nonMem, Base: base, Res: res}, nil
+}
+
+// memScaleSpec returns the MemScale spec with the harness gamma.
+func (p Params) memScaleSpec() policies.Spec {
+	spec := policies.MemScale
+	gamma := p.Gamma
+	spec.Governor = func(cfg *config.Config, nonMem float64) sim.Governor {
+		return core.NewPolicy(cfg, core.Options{NonMemPower: nonMem, Gamma: gamma})
+	}
+	return spec
+}

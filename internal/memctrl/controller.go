@@ -1,0 +1,555 @@
+// Package memctrl implements the integrated memory controller: per-bank
+// request queues with closed-page row management, FCFS reads with
+// writeback draining, the transfer-blocking bank/bus interaction of the
+// paper's queueing model (Figure 4), rank powerdown management, refresh
+// scheduling, the Section 3.1 performance counters, and the
+// PLL/DLL-relock frequency-switching mechanism that MemScale adds.
+//
+// Frequencies are tracked per channel: the paper's base scheme always
+// drives all channels together (SetBusFrequency), while the Section 6
+// future-work extension can relock channels independently
+// (SetChannelFrequency). The MC clock follows the fastest channel.
+package memctrl
+
+import (
+	"fmt"
+
+	"memscale/internal/config"
+	"memscale/internal/dram"
+	"memscale/internal/event"
+	"memscale/internal/power"
+)
+
+// Request is one memory transaction in flight through the controller.
+type Request struct {
+	Loc   config.Location
+	Write bool
+	Core  int
+
+	// Done is invoked when the data transfer completes (reads only;
+	// writebacks are fire-and-forget).
+	Done func(now config.Time)
+
+	Arrived config.Time
+	ready   config.Time // device data ready for the bus
+}
+
+// bankID flattens (rank, bank) within one channel.
+type bankID int
+
+func (c *Controller) bankID(rank, bank int) bankID {
+	return bankID(rank*c.cfg.BanksPerRank + bank)
+}
+
+type bank struct {
+	queue      []*Request // FIFO of reads waiting for this bank
+	dispatched bool       // a request occupies MC pipeline/bank/bus-wait
+}
+
+type channel struct {
+	banks   []bank
+	wbQueue []*Request // writebacks waiting for a bank
+
+	busFreeAt config.Time
+	busQueue  []*Request // bank-service-complete, waiting for the bus
+
+	busBusy config.Time // accumulated burst occupancy since last flush
+
+	outstanding []int // per bank: queued + dispatched requests
+
+	timing      dram.Resolved // operating point of this channel
+	relocking   bool
+	relockUntil config.Time
+}
+
+// Controller is the memory controller for all channels.
+type Controller struct {
+	cfg    *config.Config
+	q      *event.Queue
+	mapper *config.AddressMapper
+
+	channels []*channel
+	ranks    [][]*dram.Rank // [channel][rank]
+
+	// MC clock: double the fastest channel's bus frequency.
+	mcBusFreq config.FreqMHz
+	mcTime    config.Time
+
+	// Per-rank dispatch bookkeeping for refresh/powerdown decisions.
+	dispatched [][]int // requests dispatched but not yet through the bus
+	pending    [][]int // requests queued or dispatched per rank
+
+	counters Counters
+
+	flushedAt config.Time // start of the current power interval
+}
+
+// New builds a controller for cfg, scheduling on q. Every channel
+// boots at the nominal maximum frequency.
+func New(cfg *config.Config, q *event.Queue) *Controller {
+	c := &Controller{
+		cfg:       cfg,
+		q:         q,
+		mapper:    config.NewAddressMapper(cfg),
+		mcBusFreq: config.MaxBusFreq,
+	}
+	c.mcTime = cfg.Timing.MCTime(config.MaxBusFreq)
+
+	banksPerChannel := cfg.RanksPerChannel() * cfg.BanksPerRank
+	c.channels = make([]*channel, cfg.Channels)
+	c.ranks = make([][]*dram.Rank, cfg.Channels)
+	c.dispatched = make([][]int, cfg.Channels)
+	c.pending = make([][]int, cfg.Channels)
+	for chIdx := range c.channels {
+		ch := &channel{
+			banks:       make([]bank, banksPerChannel),
+			outstanding: make([]int, banksPerChannel),
+			timing:      dram.Resolve(cfg.Timing, config.MaxBusFreq, c.devFreqFor(config.MaxBusFreq)),
+		}
+		c.channels[chIdx] = ch
+		c.ranks[chIdx] = make([]*dram.Rank, cfg.RanksPerChannel())
+		c.dispatched[chIdx] = make([]int, cfg.RanksPerChannel())
+		c.pending[chIdx] = make([]int, cfg.RanksPerChannel())
+		for r := range c.ranks[chIdx] {
+			c.ranks[chIdx][r] = dram.NewRank(cfg.BanksPerRank, &ch.timing)
+		}
+	}
+	c.counters.TLM = make([]uint64, cfg.Cores)
+	c.counters.PerChannel = make([]ChannelCounters, cfg.Channels)
+	for i := range c.counters.PerChannel {
+		c.counters.PerChannel[i].TLM = make([]uint64, cfg.Cores)
+	}
+	return c
+}
+
+// devFreqFor returns the DRAM device frequency paired with a bus
+// frequency (lower and fixed under Decoupled DIMMs).
+func (c *Controller) devFreqFor(bus config.FreqMHz) config.FreqMHz {
+	if c.cfg.DecoupledDevFreq != 0 {
+		return c.cfg.DecoupledDevFreq
+	}
+	return bus
+}
+
+// Start arms the per-rank refresh timers, staggered so ranks refresh
+// round-robin across the tREFI interval as real controllers do.
+func (c *Controller) Start() {
+	interval := c.cfg.Timing.RefreshInterval()
+	n := config.Time(c.cfg.TotalRanks())
+	i := config.Time(0)
+	for ch := range c.ranks {
+		for r := range c.ranks[ch] {
+			ch, r := ch, r
+			first := c.q.Now() + interval*(i+1)/n
+			i++
+			c.q.Schedule(first, func(now config.Time) { c.refreshTimer(now, ch, r) })
+			// Ranks that never see traffic still power down under the
+			// powerdown policies.
+			c.maybePowerdown(c.q.Now(), ch, r)
+		}
+	}
+}
+
+// BusFreq returns channel 0's bus frequency — the system frequency
+// when all channels scale together, as in the paper's base scheme.
+func (c *Controller) BusFreq() config.FreqMHz { return c.channels[0].timing.BusFreq }
+
+// ChannelFreq returns one channel's bus frequency.
+func (c *Controller) ChannelFreq(ch int) config.FreqMHz { return c.channels[ch].timing.BusFreq }
+
+// MCBusFreq returns the bus frequency that currently sets the MC
+// clock (the fastest channel).
+func (c *Controller) MCBusFreq() config.FreqMHz { return c.mcBusFreq }
+
+// DevFreq returns channel 0's DRAM device frequency.
+func (c *Controller) DevFreq() config.FreqMHz { return c.channels[0].timing.DevFreq }
+
+// Counters returns a snapshot of the performance counters.
+func (c *Controller) Counters() Counters { return c.counters.Clone() }
+
+// Timing returns the resolved timing of channel 0 (the system timing
+// under uniform scaling).
+func (c *Controller) Timing() dram.Resolved { return c.channels[0].timing }
+
+// Enqueue submits a memory transaction. Reads invoke done when their
+// data transfer completes; writebacks ignore done.
+func (c *Controller) Enqueue(now config.Time, line uint64, write bool, core int, done func(config.Time)) {
+	loc := c.mapper.Map(line)
+	req := &Request{Loc: loc, Write: write, Core: core, Done: done, Arrived: now}
+	ch := c.channels[loc.Channel]
+	b := c.bankID(loc.Rank, loc.Bank)
+	pc := &c.counters.PerChannel[loc.Channel]
+
+	// Section 3.1 accumulators: outstanding work seen by the arrival.
+	c.counters.BTC++
+	c.counters.BTO += uint64(ch.outstanding[b])
+	c.counters.CTC++
+	busOut := len(ch.busQueue)
+	if ch.busFreeAt > now {
+		busOut++
+	}
+	c.counters.CTO += uint64(busOut)
+	pc.BTC++
+	pc.BTO += uint64(ch.outstanding[b])
+	pc.CTC++
+	pc.CTO += uint64(busOut)
+	if !write {
+		c.counters.TLM[core]++
+		pc.TLM[core]++
+	}
+
+	ch.outstanding[b]++
+	c.pending[loc.Channel][loc.Rank]++
+
+	if write {
+		ch.wbQueue = append(ch.wbQueue, req)
+	} else {
+		ch.banks[b].queue = append(ch.banks[b].queue, req)
+	}
+	c.tryDispatch(now, loc.Channel, b)
+}
+
+// nextFor selects the next request to dispatch to a bank, applying the
+// paper's scheduling rule: reads have priority over writebacks until
+// the writeback queue is half full (Section 4.1).
+func (c *Controller) nextFor(ch *channel, b bankID) *Request {
+	wbFirst := len(ch.wbQueue) >= c.cfg.WritebackQueueCap/2
+	takeWB := func() *Request {
+		for i, r := range ch.wbQueue {
+			if c.bankID(r.Loc.Rank, r.Loc.Bank) == b {
+				ch.wbQueue = append(ch.wbQueue[:i], ch.wbQueue[i+1:]...)
+				return r
+			}
+		}
+		return nil
+	}
+	if wbFirst {
+		if r := takeWB(); r != nil {
+			return r
+		}
+	}
+	if q := ch.banks[b].queue; len(q) > 0 {
+		r := q[0]
+		ch.banks[b].queue = q[1:]
+		return r
+	}
+	if !wbFirst {
+		return takeWB()
+	}
+	return nil
+}
+
+// tryDispatch starts the next request for a bank if the bank, its
+// rank, and the controller allow it.
+func (c *Controller) tryDispatch(now config.Time, chIdx int, b bankID) {
+	ch := c.channels[chIdx]
+	if ch.relocking || ch.banks[b].dispatched {
+		return
+	}
+	rankIdx := int(b) / c.cfg.BanksPerRank
+	rank := c.ranks[chIdx][rankIdx]
+	if rank.RefreshBlocked() {
+		return
+	}
+	free, ok := rank.BankFreeAt(int(b) % c.cfg.BanksPerRank)
+	if !ok {
+		return // in service; FinishAccess will re-kick
+	}
+	if free > now {
+		// A precharge or refresh window is still closing; the events
+		// that set it re-kick dispatch, so nothing to do yet.
+		return
+	}
+	req := c.nextFor(ch, b)
+	if req == nil {
+		c.maybePowerdown(now, chIdx, rankIdx)
+		return
+	}
+	ch.banks[b].dispatched = true
+	c.dispatched[chIdx][rankIdx]++
+	// The MC pipeline spends mcTime per request before the device
+	// sees it (five MC cycles, Section 3.3).
+	c.q.Schedule(now+c.mcTime, func(at config.Time) { c.startBankService(at, chIdx, b, req) })
+}
+
+// startBankService issues the request to the DRAM bank.
+func (c *Controller) startBankService(now config.Time, chIdx int, b bankID, req *Request) {
+	ch := c.channels[chIdx]
+	if ch.relocking {
+		// The relock began after dispatch; resume when it ends.
+		c.q.Schedule(ch.relockUntil, func(at config.Time) { c.startBankService(at, chIdx, b, req) })
+		return
+	}
+	rankIdx := int(b) / c.cfg.BanksPerRank
+	rank := c.ranks[chIdx][rankIdx]
+	ready, kind, pdExit := rank.StartAccess(now, int(b)%c.cfg.BanksPerRank, req.Loc.Row)
+
+	pc := &c.counters.PerChannel[chIdx]
+	switch kind {
+	case dram.RowHit:
+		c.counters.RBHC++
+		pc.RBHC++
+	case dram.ClosedMiss:
+		c.counters.CBMC++
+		pc.CBMC++
+	case dram.OpenMiss:
+		c.counters.OBMC++
+		pc.OBMC++
+	}
+	if kind != dram.RowHit {
+		c.counters.POCC++
+	}
+	if pdExit {
+		c.counters.EPDC++
+		pc.EPDC++
+	}
+
+	// Decoupled DIMMs: the device-side transfer into the
+	// synchronization buffer runs at the slower device clock; the
+	// channel burst cannot begin until it completes.
+	if extra := ch.timing.DevBurst - ch.timing.Burst; extra > 0 {
+		ready += extra
+	}
+	req.ready = ready
+	c.q.Schedule(ready, func(at config.Time) {
+		ch.busQueue = append(ch.busQueue, req)
+		c.tryGrantBus(at, chIdx)
+	})
+}
+
+// tryGrantBus gives the channel bus to the oldest ready request. The
+// bank stays blocked until its request is accepted here — the
+// transfer-blocking behaviour of the Figure 4 queueing model.
+func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
+	ch := c.channels[chIdx]
+	if ch.relocking || len(ch.busQueue) == 0 || ch.busFreeAt > now {
+		return
+	}
+	req := ch.busQueue[0]
+	ch.busQueue = ch.busQueue[1:]
+
+	busStart := now
+	busEnd := busStart + ch.timing.Burst
+	ch.busFreeAt = busEnd
+	ch.busBusy += busEnd - busStart
+
+	b := c.bankID(req.Loc.Rank, req.Loc.Bank)
+	rankIdx := req.Loc.Rank
+	rank := c.ranks[chIdx][rankIdx]
+
+	// Closed-page management: keep the row open only if the next
+	// request already queued for this bank targets the same row
+	// (Section 4.1); otherwise auto-precharge.
+	keepOpen := false
+	if q := ch.banks[b].queue; len(q) > 0 && q[0].Loc.Row == req.Loc.Row && !rank.RefreshBlocked() {
+		keepOpen = true
+	}
+
+	prechargeDone := rank.FinishAccess(int(b)%c.cfg.BanksPerRank, busStart, busEnd, req.Write, keepOpen)
+
+	// Termination on the channel's other ranks (Section 2.1).
+	for r, other := range c.ranks[chIdx] {
+		if r != rankIdx {
+			other.AccountTermination(busEnd - busStart)
+		}
+	}
+
+	ch.banks[b].dispatched = false
+	c.dispatched[chIdx][rankIdx]--
+	ch.outstanding[b]--
+	c.pending[chIdx][rankIdx]--
+	pc := &c.counters.PerChannel[chIdx]
+	if req.Write {
+		c.counters.Writebacks++
+		pc.Writebacks++
+	} else {
+		c.counters.Reads++
+		pc.Reads++
+	}
+
+	if keepOpen {
+		c.q.Schedule(busEnd, func(at config.Time) { c.tryDispatch(at, chIdx, b) })
+	} else {
+		c.q.Schedule(prechargeDone, func(at config.Time) {
+			c.ranks[chIdx][rankIdx].PrechargeDone(at, int(b)%c.cfg.BanksPerRank)
+			c.tryDispatch(at, chIdx, b)
+			c.maybePowerdown(at, chIdx, rankIdx)
+		})
+	}
+
+	if req.Done != nil && !req.Write {
+		done := req.Done
+		c.q.Schedule(busEnd, func(at config.Time) { done(at) })
+	}
+
+	c.refreshKick(now, chIdx, rankIdx)
+
+	// The bus frees at busEnd; grant the next ready request then.
+	c.q.Schedule(busEnd, func(at config.Time) { c.tryGrantBus(at, chIdx) })
+}
+
+// maybePowerdown drops an idle rank into the configured powerdown
+// state, as today's aggressive controllers do (Section 4.2.3).
+func (c *Controller) maybePowerdown(now config.Time, chIdx, rankIdx int) {
+	if c.cfg.Powerdown == config.PowerdownNone || c.channels[chIdx].relocking {
+		return
+	}
+	if c.pending[chIdx][rankIdx] > 0 || c.dispatched[chIdx][rankIdx] > 0 {
+		return
+	}
+	rank := c.ranks[chIdx][rankIdx]
+	rank.EnterPowerdown(now, c.cfg.Powerdown == config.PowerdownSlow)
+}
+
+// refreshTimer fires every tREFI per rank.
+func (c *Controller) refreshTimer(now config.Time, chIdx, rankIdx int) {
+	c.q.Schedule(now+c.cfg.Timing.RefreshInterval(), func(at config.Time) {
+		c.refreshTimer(at, chIdx, rankIdx)
+	})
+	c.ranks[chIdx][rankIdx].SetRefreshPending()
+	c.refreshKick(now, chIdx, rankIdx)
+}
+
+// refreshKick attempts to issue a pending refresh once the rank's
+// pipeline has drained.
+func (c *Controller) refreshKick(now config.Time, chIdx, rankIdx int) {
+	rank := c.ranks[chIdx][rankIdx]
+	if !rank.RefreshBlocked() || c.dispatched[chIdx][rankIdx] > 0 {
+		return
+	}
+	until, ok := rank.TryStartRefresh(now)
+	if !ok {
+		return // still in service; the next FinishAccess re-kicks
+	}
+	c.q.Schedule(until, func(at config.Time) {
+		rank.RefreshDone(at)
+		c.kickRank(at, chIdx, rankIdx)
+		c.maybePowerdown(at, chIdx, rankIdx)
+	})
+}
+
+// kickRank re-attempts dispatch on every bank of a rank (after a
+// refresh or relock released it).
+func (c *Controller) kickRank(now config.Time, chIdx, rankIdx int) {
+	for bank := 0; bank < c.cfg.BanksPerRank; bank++ {
+		c.tryDispatch(now, chIdx, c.bankID(rankIdx, bank))
+	}
+}
+
+// FlushInterval closes the power-accounting interval at now and
+// returns it: per-channel rank accounts, bus occupancies, and
+// operating points, plus the MC reference frequency. Call before every
+// frequency change and at reporting boundaries.
+func (c *Controller) FlushInterval(now config.Time) power.Interval {
+	iv := power.Interval{
+		Duration:  now - c.flushedAt,
+		MCBusFreq: c.mcBusFreq,
+		Channels:  make([]power.ChannelSlice, len(c.channels)),
+	}
+	for chIdx, ch := range c.channels {
+		slice := power.ChannelSlice{
+			BusFreq: ch.timing.BusFreq,
+			DevFreq: ch.timing.DevFreq,
+			Busy:    ch.busBusy,
+		}
+		ch.busBusy = 0
+		for _, rank := range c.ranks[chIdx] {
+			slice.DRAM.Add(rank.Flush(now))
+		}
+		iv.Channels[chIdx] = slice
+	}
+	c.flushedAt = now
+	return iv
+}
+
+// RelockPenalty returns the halt duration of a switch to bus frequency
+// f: 512 cycles at the new frequency plus 28 ns (Section 4.1).
+func (c *Controller) RelockPenalty(f config.FreqMHz) config.Time {
+	return f.Cycles(int64(c.cfg.Policy.RelockCycles)) + c.cfg.Policy.RelockExtra
+}
+
+// SetBusFrequency initiates a frequency switch of every channel — the
+// paper's base mechanism. Memory dispatch halts for the relock
+// penalty; queued requests wait and resume at the new operating point.
+// The caller must flush the power interval first. It returns the time
+// the new frequency becomes active. Switching to the current frequency
+// is a no-op.
+func (c *Controller) SetBusFrequency(now config.Time, f config.FreqMHz) config.Time {
+	applied := now
+	for ch := range c.channels {
+		if at := c.SetChannelFrequency(now, ch, f); at > applied {
+			applied = at
+		}
+	}
+	return applied
+}
+
+// SetChannelFrequency relocks a single channel to bus frequency f (the
+// Section 6 future-work mechanism). Requirements are as for
+// SetBusFrequency. Returns when the channel resumes.
+func (c *Controller) SetChannelFrequency(now config.Time, chIdx int, f config.FreqMHz) config.Time {
+	if !config.ValidBusFrequency(f) {
+		panic(fmt.Sprintf("memctrl: invalid bus frequency %v", f))
+	}
+	ch := c.channels[chIdx]
+	if f == ch.timing.BusFreq {
+		return now
+	}
+	if ch.relocking {
+		panic(fmt.Sprintf("memctrl: channel %d frequency change while already relocking", chIdx))
+	}
+	if c.flushedAt != now {
+		panic(fmt.Sprintf("memctrl: frequency change at %v without flush (last flush %v)", now, c.flushedAt))
+	}
+	ch.relocking = true
+	ch.relockUntil = now + c.RelockPenalty(f)
+	c.q.Schedule(ch.relockUntil, func(config.Time) {
+		ch.timing = dram.Resolve(c.cfg.Timing, f, c.devFreqFor(f))
+		ch.relocking = false
+		c.updateMCClock()
+		// Kick via a same-instant event so that when several channels
+		// finish relocking at the same timestamp (the uniform switch),
+		// the MC clock settles before any request re-dispatches.
+		c.q.After(0, func(at config.Time) {
+			for rankIdx := range c.ranks[chIdx] {
+				c.kickRank(at, chIdx, rankIdx)
+			}
+			c.tryGrantBus(at, chIdx)
+		})
+	})
+	return ch.relockUntil
+}
+
+// updateMCClock re-derives the MC clock from the fastest channel.
+func (c *Controller) updateMCClock() {
+	max := config.MinBusFreq
+	for _, ch := range c.channels {
+		if ch.timing.BusFreq > max {
+			max = ch.timing.BusFreq
+		}
+	}
+	c.mcBusFreq = max
+	c.mcTime = c.cfg.Timing.MCTime(max)
+}
+
+// Relocking reports whether any channel's frequency switch is in
+// progress.
+func (c *Controller) Relocking() bool {
+	for _, ch := range c.channels {
+		if ch.relocking {
+			return true
+		}
+	}
+	return false
+}
+
+// QueuedRequests returns the number of requests queued or in flight.
+func (c *Controller) QueuedRequests() int {
+	n := 0
+	for _, pend := range c.pending {
+		for _, p := range pend {
+			n += p
+		}
+	}
+	return n
+}

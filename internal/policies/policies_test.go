@@ -1,0 +1,108 @@
+package policies
+
+import (
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("registry has %d schemes, want 8", len(all))
+	}
+	wantOrder := []string{
+		"Baseline", "Fast-PD", "Slow-PD", "Decoupled", "Static",
+		"MemScale", "MemScale (MemEnergy)", "MemScale + Fast-PD",
+	}
+	for i, name := range Names() {
+		if name != wantOrder[i] {
+			t.Errorf("scheme %d = %q, want %q", i, name, wantOrder[i])
+		}
+	}
+	if len(Alternatives()) != 7 {
+		t.Errorf("Alternatives() = %d schemes, want 7 (no baseline)", len(Alternatives()))
+	}
+	for _, s := range all {
+		if s.Description == "" {
+			t.Errorf("scheme %s lacks a description", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("Decoupled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Configure == nil {
+		t.Error("Decoupled must configure the device frequency")
+	}
+	cfg := config.Default()
+	s.Configure(&cfg)
+	if cfg.DecoupledDevFreq != DecoupledDevFreq {
+		t.Errorf("DecoupledDevFreq = %v", cfg.DecoupledDevFreq)
+	}
+	if _, err := ByName("Turbo"); err == nil {
+		t.Error("unknown scheme must error")
+	}
+}
+
+func TestConfigureEffects(t *testing.T) {
+	cases := map[string]func(config.Config) bool{
+		"Fast-PD": func(c config.Config) bool { return c.Powerdown == config.PowerdownFast },
+		"Slow-PD": func(c config.Config) bool { return c.Powerdown == config.PowerdownSlow },
+	}
+	for name, check := range cases {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := config.Default()
+		s.Configure(&cfg)
+		if !check(cfg) {
+			t.Errorf("%s configuration not applied", name)
+		}
+	}
+	base, _ := ByName("Baseline")
+	if base.Configure != nil || base.Governor != nil {
+		t.Error("baseline must be a pure no-op scheme")
+	}
+}
+
+func TestStaticGovernor(t *testing.T) {
+	g := Static{Freq: config.Freq467}
+	if g.Name() != "static-467" {
+		t.Errorf("Name() = %q", g.Name())
+	}
+	for i := 0; i < 3; i++ {
+		if got := g.ProfileComplete(sim.Profile{}); got != config.Freq467 {
+			t.Errorf("ProfileComplete = %v", got)
+		}
+	}
+	g.EpochEnd(sim.Profile{}) // must not panic
+}
+
+func TestGovernorFactories(t *testing.T) {
+	cfg := config.Default()
+	for _, s := range All() {
+		if s.Governor == nil {
+			continue
+		}
+		gov := s.Governor(&cfg, 40.0)
+		if gov == nil {
+			t.Errorf("%s governor factory returned nil", s.Name)
+			continue
+		}
+		if gov.Name() == "" {
+			t.Errorf("%s governor has empty name", s.Name)
+		}
+	}
+	// Static picks the paper's best static frequency.
+	st, _ := ByName("Static")
+	gov := st.Governor(&cfg, 40.0)
+	if got := gov.ProfileComplete(sim.Profile{}); got != StaticFreq {
+		t.Errorf("Static governor chose %v, want %v", got, StaticFreq)
+	}
+}

@@ -1,0 +1,53 @@
+package power
+
+import "memscale/internal/config"
+
+// Meter integrates interval energies over a run and exposes totals and
+// averages. The simulator feeds it one Interval per stretch of
+// constant frequency (and at epoch boundaries for reporting).
+type Meter struct {
+	model    *Model
+	total    Breakdown
+	duration config.Time
+
+	intervals int
+}
+
+// NewMeter builds a meter over the given model.
+func NewMeter(m *Model) *Meter { return &Meter{model: m} }
+
+// Record integrates one interval and returns its energy breakdown.
+func (mt *Meter) Record(iv Interval) Breakdown {
+	b := mt.model.Energy(iv)
+	mt.total.Add(b)
+	mt.duration += iv.Duration
+	mt.intervals++
+	return b
+}
+
+// Total returns the accumulated energy breakdown.
+func (mt *Meter) Total() Breakdown { return mt.total }
+
+// Duration returns the accumulated time.
+func (mt *Meter) Duration() config.Time { return mt.duration }
+
+// Intervals returns how many intervals have been recorded.
+func (mt *Meter) Intervals() int { return mt.intervals }
+
+// AveragePower returns the mean memory-subsystem power in watts.
+func (mt *Meter) AveragePower() float64 {
+	if mt.duration <= 0 {
+		return 0
+	}
+	return mt.total.Memory() / mt.duration.Seconds()
+}
+
+// AverageDIMMPower returns the mean power of the DIMMs alone (DRAM
+// devices plus register/PLL), the quantity the Section 4.1 "40% of
+// system power" calibration refers to.
+func (mt *Meter) AverageDIMMPower() float64 {
+	if mt.duration <= 0 {
+		return 0
+	}
+	return (mt.total.DRAM() + mt.total.PLLReg) / mt.duration.Seconds()
+}

@@ -1,0 +1,333 @@
+// Package sim wires the full evaluation platform together — cores,
+// memory controller, DRAM ranks, and power metering — and drives the
+// paper's epoch loop: profile for 300 us at each OS quantum boundary,
+// let the governor pick a memory frequency, run the quantum, account
+// slack (Section 3.2).
+package sim
+
+import (
+	"fmt"
+
+	"memscale/internal/config"
+	"memscale/internal/cpu"
+	"memscale/internal/event"
+	"memscale/internal/memctrl"
+	"memscale/internal/power"
+	"memscale/internal/trace"
+)
+
+// Profile is the information the OS collects from the performance
+// counters over one window (a profiling phase or a whole epoch).
+type Profile struct {
+	Start, End config.Time
+	BusFreq    config.FreqMHz // frequency in force during the window
+
+	// Counters are the deltas of the Section 3.1 counter set.
+	Counters memctrl.Counters
+
+	// Instr is the per-core instructions retired in the window (the
+	// TIC counter deltas).
+	Instr []float64
+
+	// Interval is the power-accounting flush covering the window; it
+	// carries the PTC/PTCKEL/ATCKEL/POCC-equivalent state fractions
+	// the power model needs.
+	Interval power.Interval
+}
+
+// Elapsed returns the window length.
+func (p Profile) Elapsed() config.Time { return p.End - p.Start }
+
+// Governor is an OS energy-management policy: it observes profiles and
+// chooses the memory bus frequency.
+type Governor interface {
+	Name() string
+
+	// ProfileComplete is invoked after each epoch's profiling phase;
+	// the returned frequency is applied for the rest of the epoch.
+	ProfileComplete(p Profile) config.FreqMHz
+
+	// EpochEnd is invoked with the whole epoch's profile, after the
+	// epoch ran at the chosen frequency; governors update their slack
+	// accounting here.
+	EpochEnd(p Profile)
+}
+
+// PerChannelGovernor is the Section 6 future-work extension: a
+// governor that picks an independent frequency for every memory
+// channel. When a governor implements it, the system applies the
+// per-channel choices instead of the uniform one.
+type PerChannelGovernor interface {
+	Governor
+
+	// ProfileCompletePerChannel returns one bus frequency per channel
+	// for the rest of the epoch.
+	ProfileCompletePerChannel(p Profile) []config.FreqMHz
+}
+
+// EpochRecord captures one epoch for timeline figures.
+type EpochRecord struct {
+	Index       int
+	Start, End  config.Time
+	Freq        config.FreqMHz   // frequency chosen for the epoch body (fastest channel)
+	ChannelFreq []config.FreqMHz // per-channel choices (per-channel governors)
+	CoreCPI     []float64        // epoch-local CPI per core
+	ChannelUtil []float64        // epoch-local bus utilization per channel
+}
+
+// Result summarizes a run.
+type Result struct {
+	Duration config.Time
+
+	// Per-core totals over the full run.
+	Instructions []float64
+	CPI          []float64
+
+	// Energy.
+	Memory       power.Breakdown // memory-subsystem energy (joules)
+	NonMemEnergy float64         // rest-of-system energy (joules)
+	NonMemPower  float64         // the fixed power it was computed from
+	DIMMAvgWatts float64         // average DIMM (DRAM+PLL/Reg) power
+	MemAvgWatts  float64         // average memory-subsystem power
+
+	// FreqTime is the time spent at each bus frequency.
+	FreqTime map[config.FreqMHz]config.Time
+
+	// Epochs is the per-epoch timeline (only when KeepTimeline).
+	Epochs []EpochRecord
+}
+
+// SystemEnergy returns total server energy for the run.
+func (r Result) SystemEnergy() float64 { return r.Memory.Memory() + r.NonMemEnergy }
+
+// MeanCPI returns the average per-core CPI.
+func (r Result) MeanCPI() float64 {
+	if len(r.CPI) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range r.CPI {
+		s += c
+	}
+	return s / float64(len(r.CPI))
+}
+
+// Options configure a run.
+type Options struct {
+	// Governor picks frequencies; nil runs the baseline (nominal
+	// frequency, no scaling), still with epoch-granularity metering.
+	Governor Governor
+
+	// NonMemPower is the fixed rest-of-system power (watts). Use the
+	// calibration helper in the experiment layer to derive it; zero is
+	// allowed (memory-only energy accounting).
+	NonMemPower float64
+
+	// KeepTimeline retains per-epoch records in the Result.
+	KeepTimeline bool
+
+	// MaxDuration caps the run length as a safety net (default 2 s).
+	MaxDuration config.Time
+}
+
+// System is one fully wired simulated server.
+type System struct {
+	Cfg    config.Config
+	Q      *event.Queue
+	MC     *memctrl.Controller
+	Cores  []*cpu.Core
+	Model  *power.Model
+	Meter  *power.Meter
+	opts   Options
+	result Result
+
+	lastCounters memctrl.Counters
+	lastInstr    []float64
+	started      bool
+}
+
+// New builds a system running the given per-core streams under cfg.
+func New(cfg config.Config, streams []*trace.Stream, opts Options) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(streams) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), cfg.Cores)
+	}
+	s := &System{Cfg: cfg, Q: &event.Queue{}, opts: opts}
+	s.MC = memctrl.New(&s.Cfg, s.Q)
+	s.Model = power.NewModel(&s.Cfg)
+	s.Meter = power.NewMeter(s.Model)
+	for i, st := range streams {
+		s.Cores = append(s.Cores, cpu.New(i, &s.Cfg, s.Q, s.MC, st))
+	}
+	s.result.FreqTime = map[config.FreqMHz]config.Time{}
+	if s.opts.MaxDuration <= 0 {
+		s.opts.MaxDuration = 2 * config.Second
+	}
+	return s, nil
+}
+
+func (s *System) start() {
+	if s.started {
+		panic("sim: system started twice")
+	}
+	s.started = true
+	s.MC.Start()
+	for _, c := range s.Cores {
+		c.Start(s.Q.Now())
+	}
+	s.lastCounters = s.MC.Counters()
+	s.lastInstr = make([]float64, len(s.Cores))
+}
+
+// flush closes the power interval at now, meters it, and returns it.
+func (s *System) flush(now config.Time) power.Interval {
+	iv := s.MC.FlushInterval(now)
+	s.Meter.Record(iv)
+	s.result.FreqTime[iv.Channels[0].BusFreq] += iv.Duration
+	return iv
+}
+
+// window snapshots counter/instruction deltas since the last call and
+// pairs them with the flushed power interval.
+func (s *System) window(start, now config.Time, freq config.FreqMHz) Profile {
+	cur := s.MC.Counters()
+	instr := make([]float64, len(s.Cores))
+	for i, c := range s.Cores {
+		total := c.Instructions(now)
+		instr[i] = total - s.lastInstr[i]
+		s.lastInstr[i] = total
+	}
+	p := Profile{
+		Start:    start,
+		End:      now,
+		BusFreq:  freq,
+		Counters: cur.Sub(s.lastCounters),
+		Instr:    instr,
+		Interval: s.flush(now),
+	}
+	s.lastCounters = cur
+	return p
+}
+
+// RunForInstructions runs whole epochs until every core has retired at
+// least target instructions (the paper's "slowest application reaches
+// 100M" criterion), or MaxDuration elapses.
+func (s *System) RunForInstructions(target float64) Result {
+	return s.run(func(now config.Time) bool {
+		for _, c := range s.Cores {
+			if c.Instructions(now) < target {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// RunFor runs whole epochs until at least d has elapsed.
+func (s *System) RunFor(d config.Time) Result {
+	return s.run(func(now config.Time) bool { return now >= d })
+}
+
+func (s *System) run(done func(config.Time) bool) Result {
+	s.start()
+	epoch := s.Cfg.Policy.EpochLength
+	profLen := s.Cfg.Policy.ProfilingLength
+
+	for idx := 0; ; idx++ {
+		start := s.Q.Now()
+		freq := s.MC.BusFreq()
+
+		// Profiling phase.
+		profEnd := start + profLen
+		s.Q.RunUntil(profEnd)
+		p := s.window(start, profEnd, freq)
+
+		// Control algorithm invocation + bus frequency re-locking.
+		chosen := freq
+		var chosenPer []config.FreqMHz
+		if pcg, ok := s.opts.Governor.(PerChannelGovernor); ok {
+			chosenPer = pcg.ProfileCompletePerChannel(p)
+			chosen = config.MinBusFreq
+			for ch, f := range chosenPer {
+				s.MC.SetChannelFrequency(profEnd, ch, f)
+				if f > chosen {
+					chosen = f
+				}
+			}
+		} else if s.opts.Governor != nil {
+			chosen = s.opts.Governor.ProfileComplete(p)
+			if chosen != freq {
+				s.MC.SetBusFrequency(profEnd, chosen)
+			}
+		}
+
+		// Run out the epoch at the chosen frequency.
+		epochEnd := start + epoch
+		s.Q.RunUntil(epochEnd)
+		ep := s.window(profEnd, epochEnd, chosen)
+		if s.opts.Governor != nil {
+			// The governor accounts slack over the whole epoch.
+			whole := ep
+			whole.Start = start
+			whole.Counters = p.Counters.Add(ep.Counters)
+			whole.Instr = make([]float64, len(p.Instr))
+			for i := range whole.Instr {
+				whole.Instr[i] = p.Instr[i] + ep.Instr[i]
+			}
+			s.opts.Governor.EpochEnd(whole)
+		}
+
+		if s.opts.KeepTimeline {
+			rec := EpochRecord{
+				Index:       idx,
+				Start:       start,
+				End:         epochEnd,
+				Freq:        chosen,
+				ChannelFreq: chosenPer,
+				CoreCPI: func() []float64 {
+					out := make([]float64, len(s.Cores))
+					cycles := s.Cfg.TimeToCPUCycles(epochEnd - start)
+					for i := range s.Cores {
+						if n := p.Instr[i] + ep.Instr[i]; n > 0 {
+							out[i] = cycles / n
+						}
+					}
+					return out
+				}(),
+				ChannelUtil: func() []float64 {
+					out := make([]float64, len(ep.Interval.Channels))
+					for i := range ep.Interval.Channels {
+						out[i] = float64(ep.Interval.Channels[i].Busy) / float64(ep.Interval.Duration)
+					}
+					return out
+				}(),
+			}
+			s.result.Epochs = append(s.result.Epochs, rec)
+		}
+
+		if done(epochEnd) || epochEnd >= s.opts.MaxDuration {
+			break
+		}
+	}
+	return s.finalize()
+}
+
+func (s *System) finalize() Result {
+	now := s.Q.Now()
+	r := &s.result
+	r.Duration = now
+	r.Instructions = make([]float64, len(s.Cores))
+	r.CPI = make([]float64, len(s.Cores))
+	for i, c := range s.Cores {
+		r.Instructions[i] = c.Instructions(now)
+		r.CPI[i] = c.CPI(now)
+	}
+	r.Memory = s.Meter.Total()
+	r.NonMemPower = s.opts.NonMemPower
+	r.NonMemEnergy = s.opts.NonMemPower * now.Seconds()
+	r.DIMMAvgWatts = s.Meter.AverageDIMMPower()
+	r.MemAvgWatts = s.Meter.AveragePower()
+	return *r
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"memscale/internal/config"
+)
+
+// oscillatingGov alternates between two adjacent frequencies — the
+// "virtual frequency" behaviour of Figure 8.
+type oscillatingGov struct {
+	freqs [2]config.FreqMHz
+	calls int
+}
+
+func (g *oscillatingGov) Name() string { return "oscillate" }
+func (g *oscillatingGov) ProfileComplete(Profile) config.FreqMHz {
+	g.calls++
+	return g.freqs[g.calls%2]
+}
+func (g *oscillatingGov) EpochEnd(Profile) {}
+
+func TestVirtualFrequencyOscillation(t *testing.T) {
+	gov := &oscillatingGov{freqs: [2]config.FreqMHz{config.Freq533, config.Freq600}}
+	s := newSystem(t, "MID2", Options{Governor: gov, KeepTimeline: true}, nil)
+	res := s.RunFor(30 * config.Millisecond)
+	if len(res.Epochs) != 6 {
+		t.Fatalf("epochs = %d", len(res.Epochs))
+	}
+	seen := map[config.FreqMHz]bool{}
+	for _, ep := range res.Epochs {
+		seen[ep.Freq] = true
+	}
+	if !seen[config.Freq533] || !seen[config.Freq600] {
+		t.Errorf("oscillation lost: %v", seen)
+	}
+	// Time must be split between the two plus the initial nominal
+	// stretch.
+	both := res.FreqTime[config.Freq533] + res.FreqTime[config.Freq600]
+	if float64(both) < 0.9*float64(res.Duration) {
+		t.Errorf("only %v of %v at the oscillation pair", both, res.Duration)
+	}
+}
+
+func TestFreqTimeSumsToDuration(t *testing.T) {
+	gov := &oscillatingGov{freqs: [2]config.FreqMHz{config.Freq200, config.Freq800}}
+	s := newSystem(t, "ILP2", Options{Governor: gov}, nil)
+	res := s.RunFor(20 * config.Millisecond)
+	var total config.Time
+	for _, d := range res.FreqTime {
+		total += d
+	}
+	if total != res.Duration {
+		t.Errorf("FreqTime sums to %v, duration %v", total, res.Duration)
+	}
+}
+
+func TestEnergyBreakdownComponentsPositive(t *testing.T) {
+	s := newSystem(t, "MEM2", Options{}, nil)
+	res := s.RunFor(5 * config.Millisecond)
+	b := res.Memory
+	for name, v := range map[string]float64{
+		"Background": b.Background, "ActPre": b.ActPre, "ReadWrite": b.ReadWrite,
+		"Termination": b.Termination, "Refresh": b.Refresh, "PLLReg": b.PLLReg, "MC": b.MC,
+	} {
+		if v <= 0 {
+			t.Errorf("component %s = %g, want positive on a MEM mix", name, v)
+		}
+	}
+	// Sanity: average memory power must be tens of watts for this
+	// configuration (8 DIMMs + MC).
+	if res.MemAvgWatts < 20 || res.MemAvgWatts > 120 {
+		t.Errorf("memory power = %.1f W, outside plausible range", res.MemAvgWatts)
+	}
+	if res.DIMMAvgWatts >= res.MemAvgWatts {
+		t.Error("DIMM power must exclude the MC")
+	}
+}
+
+func TestEpochCPIConsistentWithTotals(t *testing.T) {
+	s := newSystem(t, "MID1", Options{KeepTimeline: true}, nil)
+	res := s.RunFor(20 * config.Millisecond)
+	// Instruction-weighted epoch CPIs must reproduce the total CPI.
+	for core := 0; core < s.Cfg.Cores; core++ {
+		var cycles, instr float64
+		for _, ep := range res.Epochs {
+			// CPI = cycles/instr per epoch; epoch cycles are fixed.
+			epochCycles := s.Cfg.TimeToCPUCycles(ep.End - ep.Start)
+			cycles += epochCycles
+			instr += epochCycles / ep.CoreCPI[core]
+		}
+		total := cycles / instr
+		if math.Abs(total-res.CPI[core])/res.CPI[core] > 0.01 {
+			t.Errorf("core %d: recomposed CPI %.3f vs reported %.3f", core, total, res.CPI[core])
+		}
+	}
+}
+
+func TestGovernorSeesMonotoneTime(t *testing.T) {
+	var last config.Time = -1
+	gov := &checkGov{t: t, last: &last}
+	s := newSystem(t, "ILP2", Options{Governor: gov}, nil)
+	s.RunFor(15 * config.Millisecond)
+	if gov.profiles == 0 {
+		t.Fatal("governor never called")
+	}
+}
+
+type checkGov struct {
+	t        *testing.T
+	last     *config.Time
+	profiles int
+}
+
+func (g *checkGov) Name() string { return "check" }
+func (g *checkGov) ProfileComplete(p Profile) config.FreqMHz {
+	g.profiles++
+	if p.Start <= *g.last {
+		g.t.Errorf("profile windows out of order: %v after %v", p.Start, *g.last)
+	}
+	*g.last = p.Start
+	if p.End-p.Start <= 0 {
+		g.t.Error("empty profile window")
+	}
+	return config.MaxBusFreq
+}
+func (g *checkGov) EpochEnd(p Profile) {
+	if p.End-p.Start <= 0 {
+		g.t.Error("empty epoch window")
+	}
+}

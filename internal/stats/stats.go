@@ -1,0 +1,142 @@
+// Package stats provides the small statistics and table-rendering
+// helpers the experiment harness uses to print paper-style tables and
+// figure data (ASCII for the terminal, CSV for plotting).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series accumulates scalar observations.
+type Series struct {
+	vals []float64
+}
+
+// Add appends an observation.
+func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
+
+// N returns the observation count.
+func (s *Series) N() int { return len(s.vals) }
+
+// Sum returns the total.
+func (s *Series) Sum() float64 {
+	var t float64
+	for _, v := range s.vals {
+		t += v
+	}
+	return t
+}
+
+// Mean returns the average (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.vals))
+}
+
+// Min returns the smallest observation (+Inf for empty).
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.vals {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+// Max returns the largest observation (-Inf for empty).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.vals {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+// Values returns a copy of the observations.
+func (s *Series) Values() []float64 { return append([]float64(nil), s.vals...) }
+
+// Table is a titled grid with optional notes, renderable as aligned
+// ASCII or CSV.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; cells beyond the column count are dropped,
+// missing cells become empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) CSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// Pct formats a ratio as a signed percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// F3 formats a float with three decimals.
+func F3(x float64) string { return fmt.Sprintf("%.3f", x) }

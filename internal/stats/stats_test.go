@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.N() != 0 {
+		t.Error("empty series defaults wrong")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty min/max should be infinities")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Sum() != 10 || s.Mean() != 2.5 || s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("series stats wrong: %+v", s)
+	}
+	vals := s.Values()
+	vals[0] = 99
+	if s.Min() == 99 {
+		t.Error("Values must return a copy")
+	}
+}
+
+func TestSeriesInvariants(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Series
+		ok := true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue // keep the sum finite so the invariant is meaningful
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		mean := s.Mean()
+		ok = ok && s.Min() <= mean+1e-9 && mean <= s.Max()+1e-9
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "Figure X",
+		Columns: []string{"Workload", "Savings"},
+		Notes:   []string{"synthetic"},
+	}
+	tb.AddRow("ILP1", "30.0%")
+	tb.AddRow("MEM1", "6.0%")
+	var b strings.Builder
+	tb.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Figure X", "Workload", "ILP1", "30.0%", "note: synthetic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Columns: []string{"a", "b"}}
+	tb.AddRow("x,y", `quo"te`)
+	tb.AddRow("plain")
+	var b strings.Builder
+	tb.CSV(&b)
+	got := b.String()
+	want := "a,b\n\"x,y\",\"quo\"\"te\"\nplain,\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.183) != "18.3%" {
+		t.Errorf("Pct = %q", Pct(0.183))
+	}
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
+		t.Errorf("F2 = %q", F2(1.005))
+	}
+	if F3(2.0) != "2.000" {
+		t.Errorf("F3 = %q", F3(2.0))
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tb := Table{Columns: []string{"a", "b", "c"}}
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3", "4") // extra dropped
+	if len(tb.Rows[0]) != 3 || tb.Rows[0][1] != "" {
+		t.Errorf("padding wrong: %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 3 || tb.Rows[1][2] != "3" {
+		t.Errorf("truncation wrong: %v", tb.Rows[1])
+	}
+}

@@ -1,0 +1,85 @@
+// Package trace synthesizes deterministic LLC-miss streams.
+//
+// The paper drives its memory simulator with M5-generated traces of
+// SPEC 2000/2006 workloads. Those traces are unavailable, so this
+// package substitutes statistically equivalent synthetic streams: each
+// application is described by a Profile (phases of base CPI, miss and
+// writeback rates, row locality, and footprint), and a Stream expands
+// a profile into the exact sequence the core model replays. Streams
+// are pure functions of (profile, seed): the same stream is replayed
+// no matter which policy or frequency the system runs at, which makes
+// cross-policy comparisons paired.
+package trace
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// RNG is a splitmix64 pseudo-random generator: tiny, fast, and fully
+// deterministic across platforms (unlike math/rand's global state).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Seed derives a stable 64-bit seed from a set of name strings and
+// integer tags, so that (workload, app, core) tuples get reproducible,
+// decorrelated streams.
+func Seed(parts ...any) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		switch v := p.(type) {
+		case string:
+			h.Write([]byte(v))
+			h.Write([]byte{0})
+		case int:
+			var buf [8]byte
+			u := uint64(v)
+			for i := range buf {
+				buf[i] = byte(u >> (8 * i))
+			}
+			h.Write(buf[:])
+		default:
+			panic("trace: Seed accepts strings and ints only")
+		}
+	}
+	// Run the hash through one splitmix round to spread low-entropy
+	// inputs across the whole state space.
+	return NewRNG(h.Sum64()).Uint64()
+}

@@ -1,0 +1,240 @@
+// Package memscale is a library-scale reproduction of "MemScale:
+// Active Low-Power Modes for Main Memory" (Deng, Meisner, Ramos,
+// Wenisch, Bianchini — ASPLOS 2011).
+//
+// It bundles a discrete-event DDR3 memory-system simulator (devices,
+// controller, counters, power), an in-order multicore front end fed by
+// synthetic SPEC-like traces, the MemScale OS energy-management policy
+// with its counter-driven performance and energy models, and the
+// baseline schemes the paper compares against (Fast-PD, Slow-PD,
+// Decoupled DIMMs, Static frequency).
+//
+// The top-level API runs (workload, policy) pairs against the
+// unmanaged baseline and reports paired energy/performance outcomes:
+//
+//	sum, err := memscale.Run(memscale.RunConfig{Mix: "MID1", Policy: "MemScale"})
+//	fmt.Printf("system energy savings: %.1f%%\n", sum.SystemSavings*100)
+//
+// For the full evaluation (every table and figure of the paper), see
+// the Experiments API and cmd/memscale-repro.
+package memscale
+
+import (
+	"fmt"
+
+	"memscale/internal/config"
+	"memscale/internal/policies"
+	"memscale/internal/power"
+	"memscale/internal/sim"
+	"memscale/internal/workload"
+)
+
+// Version of the library.
+const Version = "1.0.0"
+
+// RunConfig selects and scales one simulation.
+type RunConfig struct {
+	// Mix is a Table 1 workload name: ILP1-4, MID1-4, MEM1-4.
+	Mix string
+
+	// Policy is a scheme name as listed by Policies(): "Baseline",
+	// "Fast-PD", "Slow-PD", "Decoupled", "Static", "MemScale",
+	// "MemScale (MemEnergy)", "MemScale + Fast-PD".
+	Policy string
+
+	// Epochs is the run length in 5 ms OS quanta (default 10).
+	Epochs int
+
+	// Gamma is the maximum allowed performance degradation
+	// (default 0.10).
+	Gamma float64
+
+	// Cores overrides the core count (default 16); Channels overrides
+	// the channel count (default 4).
+	Cores    int
+	Channels int
+
+	// Timeline retains per-epoch frequency/CPI records.
+	Timeline bool
+}
+
+// EpochSample is one OS quantum of a timeline run.
+type EpochSample struct {
+	StartMs, EndMs float64
+	BusFreqMHz     int
+	CoreCPI        []float64
+	ChannelUtil    []float64
+}
+
+// RunSummary reports one run paired against its baseline.
+type RunSummary struct {
+	Mix    string
+	Policy string
+
+	DurationSeconds float64
+
+	// Energy (joules) of the managed run.
+	MemoryEnergyJ float64
+	SystemEnergyJ float64
+
+	// Savings relative to the unmanaged baseline.
+	MemorySavings float64
+	SystemSavings float64
+
+	// CPI degradation relative to the baseline: multiprogram average
+	// and worst application (the Figure 6 metrics).
+	AvgCPIIncrease   float64
+	WorstCPIIncrease float64
+
+	// FreqSeconds is the time spent at each bus frequency (MHz).
+	FreqSeconds map[int]float64
+
+	// Timeline, when requested, holds the per-epoch records.
+	Timeline []EpochSample
+}
+
+// Mixes returns the Table 1 workload names.
+func Mixes() []string { return workload.Names() }
+
+// Policies returns the scheme names accepted by RunConfig.Policy.
+func Policies() []string { return policies.Names() }
+
+// Run executes one (mix, policy) pair and its baseline, returning the
+// paired summary. Runs are deterministic: the same RunConfig always
+// produces identical results.
+func Run(rc RunConfig) (RunSummary, error) {
+	if rc.Epochs <= 0 {
+		rc.Epochs = 10
+	}
+	if rc.Gamma <= 0 {
+		rc.Gamma = 0.10
+	}
+	if rc.Policy == "" {
+		rc.Policy = "MemScale"
+	}
+	mix, err := workload.ByName(rc.Mix)
+	if err != nil {
+		return RunSummary{}, err
+	}
+	spec, err := policies.ByName(rc.Policy)
+	if err != nil {
+		return RunSummary{}, err
+	}
+
+	mkCfg := func() config.Config {
+		cfg := config.Default()
+		cfg.Policy.Gamma = rc.Gamma
+		if rc.Cores > 0 {
+			cfg.Cores = rc.Cores
+		}
+		if rc.Channels > 0 {
+			cfg.Channels = rc.Channels
+		}
+		return cfg
+	}
+	duration := config.Time(rc.Epochs) * mkCfg().Policy.EpochLength
+
+	// Baseline run and rest-of-system calibration (Section 4.1: DIMMs
+	// average 40% of server power at the baseline).
+	baseCfg := mkCfg()
+	baseStreams, err := mix.Streams(&baseCfg)
+	if err != nil {
+		return RunSummary{}, err
+	}
+	baseSys, err := sim.New(baseCfg, baseStreams, sim.Options{})
+	if err != nil {
+		return RunSummary{}, err
+	}
+	base := baseSys.RunFor(duration)
+	nonMem := power.NewModel(&baseCfg).RestOfSystemPower(base.DIMMAvgWatts)
+
+	// Managed run.
+	cfg := mkCfg()
+	if spec.Configure != nil {
+		spec.Configure(&cfg)
+	}
+	streams, err := mix.Streams(&cfg)
+	if err != nil {
+		return RunSummary{}, err
+	}
+	// The MemScale specs read gamma from cfg.Policy.Gamma, which mkCfg
+	// already set from rc.Gamma.
+	var gov sim.Governor
+	if spec.Governor != nil {
+		gov = spec.Governor(&cfg, nonMem)
+	}
+	s, err := sim.New(cfg, streams, sim.Options{
+		Governor:     gov,
+		NonMemPower:  nonMem,
+		KeepTimeline: rc.Timeline,
+	})
+	if err != nil {
+		return RunSummary{}, err
+	}
+	res := s.RunFor(duration)
+
+	return summarize(mix, spec.Name, nonMem, base, res), nil
+}
+
+func summarize(mix workload.Mix, policy string, nonMem float64, base, res sim.Result) RunSummary {
+	sysE := func(r sim.Result) float64 {
+		return r.Memory.Memory() + nonMem*r.Duration.Seconds()
+	}
+	out := RunSummary{
+		Mix:             mix.Name,
+		Policy:          policy,
+		DurationSeconds: res.Duration.Seconds(),
+		MemoryEnergyJ:   res.Memory.Memory(),
+		SystemEnergyJ:   sysE(res),
+		MemorySavings:   1 - res.Memory.Memory()/base.Memory.Memory(),
+		SystemSavings:   1 - sysE(res)/sysE(base),
+		FreqSeconds:     map[int]float64{},
+	}
+
+	// Per-application CPI degradation.
+	type agg struct{ cur, base, n float64 }
+	perApp := map[string]*agg{}
+	for i := range res.CPI {
+		app := mix.Assignment(i)
+		a := perApp[app]
+		if a == nil {
+			a = &agg{}
+			perApp[app] = a
+		}
+		a.cur += res.CPI[i]
+		a.base += base.CPI[i]
+		a.n++
+	}
+	var sum float64
+	worst := 0.0
+	for _, a := range perApp {
+		inc := a.cur/a.base - 1
+		sum += inc
+		if inc > worst {
+			worst = inc
+		}
+	}
+	out.AvgCPIIncrease = sum / float64(len(perApp))
+	out.WorstCPIIncrease = worst
+
+	for f, t := range res.FreqTime {
+		out.FreqSeconds[int(f)] = t.Seconds()
+	}
+	for _, ep := range res.Epochs {
+		out.Timeline = append(out.Timeline, EpochSample{
+			StartMs:     ep.Start.Milliseconds(),
+			EndMs:       ep.End.Milliseconds(),
+			BusFreqMHz:  int(ep.Freq),
+			CoreCPI:     ep.CoreCPI,
+			ChannelUtil: ep.ChannelUtil,
+		})
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (s RunSummary) String() string {
+	return fmt.Sprintf("%s/%s: system %+.1f%%, memory %+.1f%%, CPI +%.1f%% (worst +%.1f%%)",
+		s.Mix, s.Policy, s.SystemSavings*100, s.MemorySavings*100,
+		s.AvgCPIIncrease*100, s.WorstCPIIncrease*100)
+}

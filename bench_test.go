@@ -11,10 +11,15 @@ package memscale
 // therefore executes most of them exactly once.
 
 import (
+	"context"
+	"runtime"
 	"testing"
+	"time"
 
 	"memscale/internal/config"
 	"memscale/internal/exp"
+	"memscale/internal/policies"
+	"memscale/internal/runner"
 	"memscale/internal/stats"
 	"memscale/internal/workload"
 )
@@ -157,6 +162,67 @@ func BenchmarkSingleRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSweepSpeedup times the same policy-comparison grid run
+// serially and on a GOMAXPROCS-wide worker pool, and reports the
+// wall-clock ratio as "speedup-x". On a single-core host the ratio
+// stays near 1; on 4+ cores the parallel sweep should be >= 2x faster.
+func BenchmarkSweepSpeedup(b *testing.B) {
+	grid := Grid(
+		RunConfig{Epochs: 1, Cores: 4, Channels: 2},
+		[]string{"MID1", "MID2", "MID3", "MID4"},
+		Policies()[1:], // skip Baseline: it is the shared reference, not a scheme
+	)
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := Sweep(context.Background(), SweepConfig{Runs: grid, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(start)
+		start = time.Now()
+		if _, err := Sweep(context.Background(), SweepConfig{Runs: grid, Workers: runtime.GOMAXPROCS(0)}); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(start)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkBaselineCacheHitRate runs the Figure 9-11 shape of grid —
+// many policies paired against few distinct baselines — through one
+// engine and reports the cache hit rate. Each distinct baseline
+// configuration must simulate exactly once regardless of worker count.
+func BenchmarkBaselineCacheHitRate(b *testing.B) {
+	mixNames := []string{"MID1", "MID2", "MID3", "MID4"}
+	specs := policies.Alternatives()
+	var jobs []runner.Job
+	for _, name := range mixNames {
+		mix, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, spec := range specs {
+			jobs = append(jobs, runner.Job{
+				Mix: mix, Spec: spec, Epochs: 1, Cores: 4, Channels: 2,
+			})
+		}
+	}
+	var hitRate float64
+	for i := 0; i < b.N; i++ {
+		eng := runner.New(runner.Options{})
+		if _, err := eng.RunAll(context.Background(), jobs); err != nil {
+			b.Fatal(err)
+		}
+		hits, misses := eng.Cache().Stats()
+		if misses != len(mixNames) {
+			b.Fatalf("baseline simulated %d times, want exactly %d (one per mix)", misses, len(mixNames))
+		}
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	b.ReportMetric(hitRate*100, "cache-hit-%")
 }
 
 // BenchmarkTraceGeneration measures synthetic-trace throughput.

@@ -6,17 +6,22 @@
 // Usage:
 //
 //	memscale-repro [-experiment all|table1|figure5+6|...] [-epochs N]
-//	               [-gamma 0.10] [-csv DIR] [-quiet]
+//	               [-gamma 0.10] [-workers N] [-csv DIR] [-quiet]
 //
 // The default scale (10 quanta = 50 ms simulated per run) reproduces
-// the paper's trends in roughly half an hour of host time; raise
-// -epochs for tighter numbers.
+// the paper's trends in roughly half an hour of host time on one core;
+// the experiment grids are embarrassingly parallel, so on a multicore
+// host the sweep engine divides that by the worker count (default
+// GOMAXPROCS). Raise -epochs for tighter numbers. Ctrl-C cancels the
+// in-flight simulations promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -29,6 +34,7 @@ func main() {
 	epochs := flag.Int("epochs", 10, "OS quanta (5 ms each) per run")
 	timelineEpochs := flag.Int("timeline-epochs", 20, "OS quanta for the figure 7/8 timelines")
 	gamma := flag.Float64("gamma", 0.10, "maximum allowed performance degradation")
+	workers := flag.Int("workers", 0, "concurrent simulations per experiment grid (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -41,17 +47,21 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	params := memscale.ExperimentParams{
 		Epochs:         *epochs,
 		TimelineEpochs: *timelineEpochs,
 		Gamma:          *gamma,
+		Workers:        *workers,
 	}
 	if !*quiet {
 		params.Progress = os.Stderr
 	}
 
 	start := time.Now()
-	reports, err := memscale.RunExperiment(*experiment, params)
+	reports, err := memscale.RunExperimentContext(ctx, *experiment, params)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memscale-repro:", err)
 		os.Exit(1)

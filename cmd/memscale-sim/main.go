@@ -6,12 +6,16 @@
 //
 //	memscale-sim -mix MID1 [-policy MemScale] [-epochs 10]
 //	             [-gamma 0.10] [-cores 16] [-channels 4] [-timeline]
+//
+// Ctrl-C cancels the simulation promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -28,7 +32,10 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the per-epoch frequency/CPI timeline")
 	flag.Parse()
 
-	sum, err := memscale.Run(memscale.RunConfig{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sum, err := memscale.RunContext(ctx, memscale.RunConfig{
 		Mix:      *mix,
 		Policy:   *policy,
 		Epochs:   *epochs,

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"memscale/internal/config"
 	"memscale/internal/trace"
@@ -116,5 +118,13 @@ func describe(name string, streams []*trace.Stream, target uint64, mapper *confi
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "memscale-trace:", err)
+	// Unknown-name lookups carry typed sentinels; list the valid
+	// names so the user doesn't have to guess.
+	switch {
+	case errors.Is(err, workload.ErrUnknownApp):
+		fmt.Fprintln(os.Stderr, "known applications:", strings.Join(workload.AppNames(), " "))
+	case errors.Is(err, workload.ErrUnknownMix):
+		fmt.Fprintln(os.Stderr, "known mixes:", strings.Join(workload.Names(), " "))
+	}
 	os.Exit(1)
 }

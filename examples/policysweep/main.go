@@ -3,12 +3,19 @@
 // powerdown-based controllers, Decoupled DIMMs, the best static
 // frequency, and the MemScale variants — reproducing the Figure 9/11
 // comparison for a single mix.
+//
+// The grid goes through memscale.Sweep: the schemes run concurrently
+// on a worker pool, and all of them pair against one shared baseline
+// simulation instead of re-running it per scheme.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"memscale"
 )
@@ -16,23 +23,35 @@ import (
 func main() {
 	mix := flag.String("mix", "MID2", "workload mix to sweep")
 	epochs := flag.Int("epochs", 8, "OS quanta per run")
+	workers := flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	grid := memscale.Grid(
+		memscale.RunConfig{Epochs: *epochs},
+		[]string{*mix},
+		memscale.Policies(),
+	)
+	sums, err := memscale.Sweep(ctx, memscale.SweepConfig{
+		Runs:    grid,
+		Workers: *workers,
+		Progress: func(p memscale.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s done\n",
+				p.Completed, p.Total, p.Run.Mix, p.Run.Policy)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("policy comparison on %s (gamma = 10%%)\n\n", *mix)
 	fmt.Printf("%-22s %14s %14s %12s %12s\n",
 		"policy", "system energy", "memory energy", "avg CPI", "worst CPI")
-
-	for _, policy := range memscale.Policies() {
-		sum, err := memscale.Run(memscale.RunConfig{
-			Mix:    *mix,
-			Policy: policy,
-			Epochs: *epochs,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, sum := range sums {
 		fmt.Printf("%-22s %+13.1f%% %+13.1f%% %+11.1f%% %+11.1f%%\n",
-			policy, sum.SystemSavings*100, sum.MemorySavings*100,
+			sum.Policy, sum.SystemSavings*100, sum.MemorySavings*100,
 			sum.AvgCPIIncrease*100, sum.WorstCPIIncrease*100)
 	}
 	fmt.Println("\n(positive energy = savings vs baseline; positive CPI = slowdown)")

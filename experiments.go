@@ -1,6 +1,7 @@
 package memscale
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -22,11 +23,16 @@ type ExperimentParams struct {
 	// Gamma is the allowed performance degradation (default 0.10).
 	Gamma float64
 
+	// Workers bounds the number of concurrently simulated runs per
+	// experiment grid (default GOMAXPROCS). Results are independent
+	// of the worker count.
+	Workers int
+
 	// Progress receives per-run progress lines when non-nil.
 	Progress io.Writer
 }
 
-func (p ExperimentParams) params() exp.Params {
+func (p ExperimentParams) params(ctx context.Context) exp.Params {
 	q := exp.DefaultParams()
 	if p.Epochs > 0 {
 		q.Epochs = p.Epochs
@@ -37,7 +43,9 @@ func (p ExperimentParams) params() exp.Params {
 	if p.Gamma > 0 {
 		q.Gamma = p.Gamma
 	}
+	q.Workers = p.Workers
 	q.Progress = p.Progress
+	q.Ctx = ctx
 	return q
 }
 
@@ -118,7 +126,14 @@ func Experiments() []string {
 // RunExperiment executes one experiment by ID ("all" runs everything)
 // and returns its rendered reports.
 func RunExperiment(id string, params ExperimentParams) ([]ExperimentReport, error) {
-	p := params.params()
+	return RunExperimentContext(context.Background(), id, params)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: the
+// experiment grids run on the parallel sweep engine under ctx, and an
+// in-flight simulation stops promptly when ctx fires.
+func RunExperimentContext(ctx context.Context, id string, params ExperimentParams) ([]ExperimentReport, error) {
+	p := params.params(ctx)
 	runners := experimentRunners(p)
 	ids := []string{id}
 	if id == "all" {

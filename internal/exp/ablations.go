@@ -4,6 +4,7 @@ import (
 	"memscale/internal/config"
 	"memscale/internal/core"
 	"memscale/internal/policies"
+	"memscale/internal/runner"
 	"memscale/internal/sim"
 	"memscale/internal/stats"
 	"memscale/internal/workload"
@@ -31,6 +32,10 @@ func (p Params) Ablations() (Report, error) {
 		core.AblateQueueModel, core.AblateSlack,
 	}
 	mixNames := []string{"MID2", "MEM1"}
+	// The whole variant x mix grid runs concurrently; every variant
+	// shares the two memoized baselines.
+	var jobs []runner.Job
+	var specNames []string
 	for _, v := range variants {
 		v := v
 		spec := policies.Spec{
@@ -39,17 +44,23 @@ func (p Params) Ablations() (Report, error) {
 				return core.NewAblatedPolicy(cfg, core.Options{NonMemPower: nonMem}, v)
 			},
 		}
-		var sys, avg stats.Series
-		worst := 0.0
+		specNames = append(specNames, spec.Name)
 		for _, name := range mixNames {
 			mix, err := workload.ByName(name)
 			if err != nil {
 				return Report{}, err
 			}
-			out, err := p.runPair(nil, mix, spec)
-			if err != nil {
-				return Report{}, err
-			}
+			jobs = append(jobs, p.job(nil, mix, spec))
+		}
+	}
+	outs, err := p.runGrid(jobs)
+	if err != nil {
+		return Report{}, err
+	}
+	for i, name := range specNames {
+		var sys, avg stats.Series
+		worst := 0.0
+		for _, out := range outs[i*len(mixNames) : (i+1)*len(mixNames)] {
 			sys.Add(out.SystemSavings())
 			a, w := out.CPIIncrease()
 			avg.Add(a)
@@ -57,7 +68,7 @@ func (p Params) Ablations() (Report, error) {
 				worst = w
 			}
 		}
-		t.AddRow(spec.Name, stats.Pct(sys.Mean()), stats.Pct(avg.Mean()), stats.Pct(worst))
+		t.AddRow(name, stats.Pct(sys.Mean()), stats.Pct(avg.Mean()), stats.Pct(worst))
 	}
 	return Report{ID: "ablations", Title: "Policy ablations", Table: t}, nil
 }

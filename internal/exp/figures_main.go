@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memscale/internal/config"
+	"memscale/internal/runner"
 	"memscale/internal/sim"
 	"memscale/internal/stats"
 	"memscale/internal/workload"
@@ -66,18 +67,15 @@ func (p Params) Figure2() (Report, error) {
 
 // MemScaleOutcomes runs MemScale on all twelve Table 1 mixes with the
 // configured bound and returns the paired outcomes (the data behind
-// Figures 5 and 6).
+// Figures 5 and 6). The mixes run concurrently on the sweep engine;
+// outcomes come back in Table 1 order.
 func (p Params) MemScaleOutcomes() ([]Outcome, error) {
 	spec := p.memScaleSpec()
-	outs := make([]Outcome, 0, len(workload.Mixes))
+	jobs := make([]runner.Job, 0, len(workload.Mixes))
 	for _, mix := range workload.Mixes {
-		out, err := p.runPair(nil, mix, spec)
-		if err != nil {
-			return nil, err
-		}
-		outs = append(outs, out)
+		jobs = append(jobs, p.job(nil, mix, spec))
 	}
-	return outs, nil
+	return p.runGrid(jobs)
 }
 
 // Figures5And6 run MemScale on all twelve mixes with the default 10%
@@ -147,7 +145,10 @@ func (p Params) timeline(mixName string, cores int) (*sim.Result, workload.Mix, 
 	if err != nil {
 		return nil, mix, err
 	}
-	res := s.RunFor(config.Time(p.TimelineEpochs) * cfg.Policy.EpochLength)
+	res, err := s.RunForContext(p.ctx(), config.Time(p.TimelineEpochs)*cfg.Policy.EpochLength)
+	if err != nil {
+		return nil, mix, err
+	}
 	return &res, mix, nil
 }
 

@@ -2,13 +2,16 @@ package exp
 
 import (
 	"memscale/internal/policies"
+	"memscale/internal/runner"
 	"memscale/internal/stats"
 	"memscale/internal/workload"
 )
 
 // PolicyComparison runs every Section 4.2.3 scheme on the MID mixes
 // and returns the outcomes grouped by scheme, in presentation order.
-// Figures 9, 10, and 11 all render from this one grid.
+// Figures 9, 10, and 11 all render from this one grid. The whole
+// scheme x mix grid executes concurrently on the sweep engine; all
+// schemes share the four memoized MID baselines.
 func (p Params) PolicyComparison() (map[string][]Outcome, []string, error) {
 	specs := policies.Alternatives()
 	// Swap in the harness-configured MemScale variants so gamma
@@ -18,17 +21,22 @@ func (p Params) PolicyComparison() (map[string][]Outcome, []string, error) {
 			specs[i] = p.memScaleSpec()
 		}
 	}
+	mixes := workload.ByClass(workload.ClassMID)
 	names := make([]string, len(specs))
-	grid := map[string][]Outcome{}
+	jobs := make([]runner.Job, 0, len(specs)*len(mixes))
 	for i, spec := range specs {
 		names[i] = spec.Name
-		for _, mix := range workload.ByClass(workload.ClassMID) {
-			out, err := p.runPair(nil, mix, spec)
-			if err != nil {
-				return nil, nil, err
-			}
-			grid[spec.Name] = append(grid[spec.Name], out)
+		for _, mix := range mixes {
+			jobs = append(jobs, p.job(nil, mix, spec))
 		}
+	}
+	outs, err := p.runGrid(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	grid := map[string][]Outcome{}
+	for i, spec := range specs {
+		grid[spec.Name] = outs[i*len(mixes) : (i+1)*len(mixes)]
 	}
 	return grid, names, nil
 }
@@ -61,7 +69,7 @@ func Figure10(grid map[string][]Outcome, names []string) Report {
 	addRow := func(name string, outs []Outcome, useBase bool) {
 		var dram, pll, mc, rest stats.Series
 		for _, out := range outs {
-			baseTotal := out.systemEnergy(out.Base)
+			baseTotal := out.SystemEnergy(out.Base)
 			r := out.Res
 			if useBase {
 				r = out.Base

@@ -4,21 +4,28 @@ import (
 	"fmt"
 
 	"memscale/internal/config"
+	"memscale/internal/runner"
 	"memscale/internal/stats"
 	"memscale/internal/workload"
 )
 
-// sensitivityRow runs MemScale on the MID mixes under a configuration
-// variant and returns (system savings mean, worst CPI increase).
+// sensitivityRow runs MemScale on the MID mixes (concurrently) under a
+// configuration variant and returns (system savings mean, worst CPI
+// increase).
 func (p Params) sensitivityRow(mutate func(*config.Config)) (float64, float64, error) {
 	spec := p.memScaleSpec()
+	mixes := workload.ByClass(workload.ClassMID)
+	jobs := make([]runner.Job, 0, len(mixes))
+	for _, mix := range mixes {
+		jobs = append(jobs, p.job(mutate, mix, spec))
+	}
+	outs, err := p.runGrid(jobs)
+	if err != nil {
+		return 0, 0, err
+	}
 	var sys stats.Series
 	worst := 0.0
-	for _, mix := range workload.ByClass(workload.ClassMID) {
-		out, err := p.runPair(mutate, mix, spec)
-		if err != nil {
-			return 0, 0, err
-		}
+	for _, out := range outs {
 		sys.Add(out.SystemSavings())
 		if _, w := out.CPIIncrease(); w > worst {
 			worst = w
@@ -159,13 +166,17 @@ func (p Params) ByClassSummary(class workload.Class) (Report, error) {
 		Columns: []string{"Workload", "System", "Memory", "Avg CPI inc", "Worst CPI inc"},
 	}
 	spec := p.memScaleSpec()
+	var jobs []runner.Job
 	for _, mix := range workload.ByClass(class) {
-		out, err := p.runPair(nil, mix, spec)
-		if err != nil {
-			return Report{}, err
-		}
+		jobs = append(jobs, p.job(nil, mix, spec))
+	}
+	outs, err := p.runGrid(jobs)
+	if err != nil {
+		return Report{}, err
+	}
+	for _, out := range outs {
 		a, w := out.CPIIncrease()
-		t.AddRow(mix.Name, stats.Pct(out.SystemSavings()), stats.Pct(out.MemorySavings()),
+		t.AddRow(out.Mix.Name, stats.Pct(out.SystemSavings()), stats.Pct(out.MemorySavings()),
 			stats.Pct(a), stats.Pct(w))
 	}
 	return Report{ID: "class-" + class.String(), Title: t.Title, Table: t}, nil

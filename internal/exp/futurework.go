@@ -38,7 +38,7 @@ func (p Params) futureRun(mix workload.Mix, mkGov func(*config.Config, float64) 
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return s.RunFor(p.runDuration(&cfg)), nil
+	return s.RunForContext(p.ctx(), p.runDuration(&cfg))
 }
 
 // FutureWork reproduces the Section 6 extension study: per-channel

@@ -3,16 +3,21 @@
 // studies). Each driver runs the relevant workload x policy grid on
 // the simulator and renders the same rows/series the paper reports,
 // as ASCII tables and optional CSV.
+//
+// The grids execute on the internal/runner engine: jobs of one figure
+// run concurrently on a worker pool, and the unmanaged baseline runs
+// they share are simulated once and memoized across figures.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"memscale/internal/config"
 	"memscale/internal/core"
 	"memscale/internal/policies"
-	"memscale/internal/power"
+	"memscale/internal/runner"
 	"memscale/internal/sim"
 	"memscale/internal/stats"
 	"memscale/internal/workload"
@@ -32,23 +37,24 @@ type Params struct {
 	// Gamma is the allowed performance degradation (default 0.10).
 	Gamma float64
 
+	// Workers bounds the number of concurrently executing runs per
+	// grid; zero means GOMAXPROCS. Parallelism never changes results:
+	// each simulation is single-threaded and deterministic, and grid
+	// results are ordered by submission, not completion.
+	Workers int
+
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 
-	// baselines caches baseline runs across figures: many experiments
+	// Ctx, when non-nil, cancels in-flight simulations; drivers return
+	// its error once it fires.
+	Ctx context.Context
+
+	// cache memoizes baseline runs across figures: many experiments
 	// share the exact same unmanaged run (the baseline is independent
 	// of policy and of gamma), so re-simulating it per pair would
 	// dominate the harness run time.
-	baselines *baselineCache
-}
-
-type baselineCache struct {
-	entries map[string]baselineEntry
-}
-
-type baselineEntry struct {
-	res    sim.Result
-	nonMem float64
+	cache *runner.BaselineCache
 }
 
 // DefaultParams returns the standard experiment scale.
@@ -57,8 +63,56 @@ func DefaultParams() Params {
 		Epochs:         10,
 		TimelineEpochs: 20,
 		Gamma:          0.10,
-		baselines:      &baselineCache{entries: map[string]baselineEntry{}},
+		cache:          runner.NewBaselineCache(),
 	}
+}
+
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
+}
+
+// engine builds the sweep engine for one grid, sharing the baseline
+// cache across all grids run from this Params (copies included:
+// sensitivity drivers derive variants with `q := p`, and the pointer
+// travels with them).
+func (p Params) engine() *runner.Engine {
+	var onResult func(runner.Progress)
+	if p.Progress != nil {
+		onResult = func(pr runner.Progress) {
+			if pr.Err != nil {
+				p.logf("  %-8s %-20s error: %v", pr.Job.Mix.Name, pr.Job.Spec.Name, pr.Err)
+				return
+			}
+			out := pr.Outcome
+			p.logf("  %-8s %-20s mem %-7s sys %-7s", out.Mix.Name, out.Policy,
+				stats.Pct(out.MemorySavings()), stats.Pct(out.SystemSavings()))
+		}
+	}
+	return runner.New(runner.Options{
+		Workers:  p.Workers,
+		Cache:    p.cache,
+		OnResult: onResult,
+	})
+}
+
+// job assembles one engine job at this Params' scale.
+func (p Params) job(mutate func(*config.Config), mix workload.Mix, spec policies.Spec) runner.Job {
+	return runner.Job{
+		Mix:    mix,
+		Spec:   spec,
+		Epochs: p.Epochs,
+		Gamma:  p.Gamma,
+		Mutate: mutate,
+	}
+}
+
+// runGrid executes a batch of jobs concurrently, returning outcomes in
+// job order.
+func (p Params) runGrid(jobs []runner.Job) ([]runner.Outcome, error) {
+	return p.engine().RunAll(p.ctx(), jobs)
 }
 
 func (p Params) runDuration(cfg *config.Config) config.Time {
@@ -81,122 +135,33 @@ type Report struct {
 // Render writes the report's table to w.
 func (r Report) Render(w io.Writer) { r.Table.Render(w) }
 
-// Outcome is one (mix, policy) run paired with its baseline.
-type Outcome struct {
-	Mix    workload.Mix
-	Policy string
-	NonMem float64 // rest-of-system watts used for both runs
-	Base   sim.Result
-	Res    sim.Result
-}
-
-func (o Outcome) systemEnergy(r sim.Result) float64 {
-	return r.Memory.Memory() + o.NonMem*r.Duration.Seconds()
-}
-
-// MemorySavings returns the memory-subsystem energy savings vs the
-// baseline.
-func (o Outcome) MemorySavings() float64 {
-	return 1 - o.Res.Memory.Memory()/o.Base.Memory.Memory()
-}
-
-// SystemSavings returns the full-system energy savings vs the baseline.
-func (o Outcome) SystemSavings() float64 {
-	return 1 - o.systemEnergy(o.Res)/o.systemEnergy(o.Base)
-}
-
-// CPIIncrease returns the multiprogram-average and worst-application
-// CPI increases vs the baseline (the Figure 6 metrics). Application
-// CPI is the mean over its replicated instances.
-func (o Outcome) CPIIncrease() (avg, worst float64) {
-	perApp := map[string]*stats.Series{}
-	basePerApp := map[string]*stats.Series{}
-	for i := range o.Res.CPI {
-		app := o.Mix.Assignment(i)
-		if perApp[app] == nil {
-			perApp[app] = &stats.Series{}
-			basePerApp[app] = &stats.Series{}
-		}
-		perApp[app].Add(o.Res.CPI[i])
-		basePerApp[app].Add(o.Base.CPI[i])
-	}
-	var s stats.Series
-	for app, cur := range perApp {
-		inc := cur.Mean()/basePerApp[app].Mean() - 1
-		s.Add(inc)
-	}
-	return s.Mean(), s.Max()
-}
+// Outcome is one (mix, policy) run paired with its baseline; see
+// runner.Outcome for the savings/CPI metrics.
+type Outcome = runner.Outcome
 
 // runBaseline runs the mix with the unmanaged memory system and
 // derives the rest-of-system power from its average DIMM power.
-// Results are cached: the baseline depends only on the configuration
-// and mix (gamma is irrelevant — no governor runs), and many
-// experiments revisit the same pair.
+// Results are memoized in the shared baseline cache: the baseline
+// depends only on the configuration and mix (gamma is irrelevant — no
+// governor runs), and many experiments revisit the same pair.
 func (p Params) runBaseline(cfg config.Config, mix workload.Mix) (sim.Result, float64, error) {
-	var key string
-	if p.baselines != nil {
-		norm := cfg
-		norm.Policy.Gamma = 0
-		key = fmt.Sprintf("%s|%d|%+v", mix.Name, p.Epochs, norm)
-		if e, ok := p.baselines.entries[key]; ok {
-			return e.res, e.nonMem, nil
-		}
+	cache := p.cache
+	if cache == nil {
+		cache = runner.NewBaselineCache()
 	}
-	streams, err := mix.Streams(&cfg)
-	if err != nil {
-		return sim.Result{}, 0, err
-	}
-	s, err := sim.New(cfg, streams, sim.Options{})
-	if err != nil {
-		return sim.Result{}, 0, err
-	}
-	res := s.RunFor(p.runDuration(&cfg))
-	nonMem := power.NewModel(&cfg).RestOfSystemPower(res.DIMMAvgWatts)
-	if p.baselines != nil {
-		p.baselines.entries[key] = baselineEntry{res: res, nonMem: nonMem}
-	}
-	return res, nonMem, nil
+	return cache.Baseline(p.ctx(), cfg, mix, p.Epochs)
 }
 
 // runPair runs (mix, spec) against its baseline under a possibly
 // mutated configuration and returns the paired outcome.
 func (p Params) runPair(mutate func(*config.Config), mix workload.Mix, spec policies.Spec) (Outcome, error) {
-	baseCfg := config.Default()
-	if p.Gamma > 0 {
-		baseCfg.Policy.Gamma = p.Gamma
-	}
-	if mutate != nil {
-		mutate(&baseCfg)
-	}
-
-	base, nonMem, err := p.runBaseline(baseCfg, mix)
+	out, err := p.engine().Run(p.ctx(), p.job(mutate, mix, spec))
 	if err != nil {
 		return Outcome{}, err
 	}
-
-	cfg := baseCfg
-	if spec.Configure != nil {
-		spec.Configure(&cfg)
-	}
-	streams, err := mix.Streams(&cfg)
-	if err != nil {
-		return Outcome{}, err
-	}
-	var gov sim.Governor
-	if spec.Governor != nil {
-		gov = spec.Governor(&cfg, nonMem)
-	}
-	s, err := sim.New(cfg, streams, sim.Options{Governor: gov, NonMemPower: nonMem})
-	if err != nil {
-		return Outcome{}, err
-	}
-	res := s.RunFor(p.runDuration(&cfg))
 	p.logf("  %-8s %-20s mem %-7s sys %-7s", mix.Name, spec.Name,
-		stats.Pct(1-res.Memory.Memory()/base.Memory.Memory()),
-		stats.Pct(1-(res.Memory.Memory()+nonMem*res.Duration.Seconds())/
-			(base.Memory.Memory()+nonMem*base.Duration.Seconds())))
-	return Outcome{Mix: mix, Policy: spec.Name, NonMem: nonMem, Base: base, Res: res}, nil
+		stats.Pct(out.MemorySavings()), stats.Pct(out.SystemSavings()))
+	return out, nil
 }
 
 // memScaleSpec returns the MemScale spec with the harness gamma.

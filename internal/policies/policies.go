@@ -7,12 +7,18 @@
 package policies
 
 import (
+	"errors"
 	"fmt"
 
 	"memscale/internal/config"
 	"memscale/internal/core"
 	"memscale/internal/sim"
 )
+
+// ErrUnknownPolicy reports a scheme name outside the Section 4.2.3
+// catalogue. ByName wraps it with %w so callers can match with
+// errors.Is; the public memscale package re-exports it.
+var ErrUnknownPolicy = errors.New("unknown policy")
 
 // StaticFreq is the statically selected frequency of the "Static"
 // baseline: the highest-saving setting that never violates the
@@ -128,7 +134,7 @@ func ByName(name string) (Spec, error) {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("policies: unknown scheme %q", name)
+	return Spec{}, fmt.Errorf("policies: %w %q", ErrUnknownPolicy, name)
 }
 
 // Names lists the scheme names in order.

@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"memscale/internal/config"
+	"memscale/internal/power"
+	"memscale/internal/sim"
+	"memscale/internal/workload"
+)
+
+// BaselineCache memoizes unmanaged baseline simulations. Every figure
+// pairs each managed run against the baseline of the same (mix,
+// configuration, run length), and a policy sweep shares one baseline
+// across all its schemes, so without memoization the harness simulates
+// the identical run over and over. The cache is safe for concurrent
+// use and guarantees each distinct baseline executes exactly once:
+// concurrent requests for the same key block on the first requester
+// instead of duplicating the simulation.
+type BaselineCache struct {
+	mu      sync.Mutex
+	entries map[string]*baselineEntry
+
+	hits, misses int
+}
+
+type baselineEntry struct {
+	ready  chan struct{} // closed once res/nonMem/err are final
+	res    sim.Result
+	nonMem float64
+	err    error
+}
+
+// NewBaselineCache returns an empty cache.
+func NewBaselineCache() *BaselineCache {
+	return &BaselineCache{entries: map[string]*baselineEntry{}}
+}
+
+// baselineKey canonicalizes the baseline identity. The baseline runs
+// no governor, so gamma is irrelevant and is zeroed out of the key:
+// sweeps over gamma all share one baseline.
+func baselineKey(cfg config.Config, mixName string, epochs int) string {
+	norm := cfg
+	norm.Policy.Gamma = 0
+	return fmt.Sprintf("%s|%d|%+v", mixName, epochs, norm)
+}
+
+// Baseline returns the unmanaged run of mix under cfg for the given
+// epoch count, together with the rest-of-system power calibrated from
+// its average DIMM power (Section 4.1), simulating it only on the
+// first request. Errors are not cached: a failed or cancelled
+// computation is discarded so a later caller can retry.
+func (c *BaselineCache) Baseline(ctx context.Context, cfg config.Config, mix workload.Mix, epochs int) (sim.Result, float64, error) {
+	key := baselineKey(cfg, mix.Name, epochs)
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.res, e.nonMem, e.err
+		case <-ctx.Done():
+			return sim.Result{}, 0, ctx.Err()
+		}
+	}
+	e := &baselineEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.res, e.nonMem, e.err = runBaseline(ctx, cfg, mix, epochs)
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.res, e.nonMem, e.err
+}
+
+// Stats reports the cache behaviour so far: hits is the number of
+// lookups served from (or blocked on) an existing entry, misses the
+// number of baseline simulations actually executed.
+func (c *BaselineCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// runBaseline executes one unmanaged run and calibrates the
+// rest-of-system power from it.
+func runBaseline(ctx context.Context, cfg config.Config, mix workload.Mix, epochs int) (sim.Result, float64, error) {
+	streams, err := mix.Streams(&cfg)
+	if err != nil {
+		return sim.Result{}, 0, err
+	}
+	s, err := sim.New(cfg, streams, sim.Options{})
+	if err != nil {
+		return sim.Result{}, 0, err
+	}
+	res, err := s.RunForContext(ctx, config.Time(epochs)*cfg.Policy.EpochLength)
+	if err != nil {
+		return sim.Result{}, 0, err
+	}
+	nonMem := power.NewModel(&cfg).RestOfSystemPower(res.DIMMAvgWatts)
+	return res, nonMem, nil
+}

@@ -1,0 +1,307 @@
+// Package runner is the parallel sweep/batch execution engine behind
+// the public Run/Sweep API and the experiment harness. It schedules
+// (mix, policy, gamma, epochs, cores, channels) jobs onto a bounded
+// worker pool, memoizes the unmanaged baseline runs the jobs share,
+// and honours context cancellation mid-simulation.
+//
+// Determinism: parallelism is across jobs only — each simulation is
+// the same single-threaded discrete-event run it always was, so one
+// job's result is bit-identical whether the batch ran on one worker or
+// sixteen. Results come back indexed by submission order, never by
+// completion order.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"memscale/internal/config"
+	"memscale/internal/policies"
+	"memscale/internal/sim"
+	"memscale/internal/stats"
+	"memscale/internal/workload"
+)
+
+// Job is one paired simulation: a (mix, policy) pair run against the
+// memoized unmanaged baseline of the same configuration.
+type Job struct {
+	Mix  workload.Mix
+	Spec policies.Spec
+
+	// Epochs is the run length in OS quanta; it must be positive.
+	Epochs int
+
+	// Gamma, when positive, sets the allowed performance degradation.
+	Gamma float64
+
+	// Cores and Channels, when positive, override the machine shape.
+	Cores, Channels int
+
+	// Mutate, when non-nil, edits the configuration after the fields
+	// above are applied and before the policy's own Configure hook;
+	// both the baseline and the managed run see the mutation.
+	Mutate func(*config.Config)
+
+	// Timeline retains per-epoch records in the managed run's Result.
+	Timeline bool
+}
+
+// Outcome is one managed run paired with its baseline.
+type Outcome struct {
+	Mix    workload.Mix
+	Policy string
+	NonMem float64 // rest-of-system watts used for both runs
+	Base   sim.Result
+	Res    sim.Result
+}
+
+// SystemEnergy returns the full-system energy of r using the
+// outcome's calibrated rest-of-system power.
+func (o Outcome) SystemEnergy(r sim.Result) float64 {
+	return r.Memory.Memory() + o.NonMem*r.Duration.Seconds()
+}
+
+// MemorySavings returns the memory-subsystem energy savings vs the
+// baseline. A degenerate zero-energy baseline yields 0, not NaN.
+func (o Outcome) MemorySavings() float64 {
+	base := o.Base.Memory.Memory()
+	if base == 0 {
+		return 0
+	}
+	return 1 - o.Res.Memory.Memory()/base
+}
+
+// SystemSavings returns the full-system energy savings vs the
+// baseline. A degenerate zero-energy baseline yields 0, not NaN.
+func (o Outcome) SystemSavings() float64 {
+	base := o.SystemEnergy(o.Base)
+	if base == 0 {
+		return 0
+	}
+	return 1 - o.SystemEnergy(o.Res)/base
+}
+
+// CPIIncrease returns the multiprogram-average and worst-application
+// CPI increases vs the baseline (the Figure 6 metrics). Application
+// CPI is the mean over its replicated instances; applications whose
+// baseline retired no instructions (zero CPI) are skipped rather than
+// producing NaN/Inf.
+func (o Outcome) CPIIncrease() (avg, worst float64) {
+	perApp := map[string]*stats.Series{}
+	basePerApp := map[string]*stats.Series{}
+	for i := range o.Res.CPI {
+		app := o.Mix.Assignment(i)
+		if perApp[app] == nil {
+			perApp[app] = &stats.Series{}
+			basePerApp[app] = &stats.Series{}
+		}
+		perApp[app].Add(o.Res.CPI[i])
+		basePerApp[app].Add(o.Base.CPI[i])
+	}
+	var s stats.Series
+	for app, cur := range perApp {
+		base := basePerApp[app].Mean()
+		if base == 0 {
+			continue
+		}
+		s.Add(cur.Mean()/base - 1)
+	}
+	if s.N() == 0 {
+		return 0, 0
+	}
+	return s.Mean(), s.Max()
+}
+
+// Progress reports one finished job to the Options.OnResult callback.
+type Progress struct {
+	// Done is the number of jobs finished so far (including this one);
+	// Total is the batch size. Callbacks arrive in completion order,
+	// serialized on one goroutine at a time.
+	Done, Total int
+
+	// Index is the job's position in the submitted slice.
+	Index int
+
+	Job     Job
+	Outcome Outcome // zero when Err != nil
+	Err     error
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Workers bounds the number of concurrently executing jobs;
+	// zero or negative means runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Cache, when non-nil, shares baseline memoization with other
+	// engines; nil creates a private cache.
+	Cache *BaselineCache
+
+	// OnResult, when non-nil, is invoked after every finished batch
+	// job (successful or not).
+	OnResult func(Progress)
+}
+
+// Engine executes jobs on a worker pool with shared baseline
+// memoization. An Engine is safe for concurrent use.
+type Engine struct {
+	workers  int
+	cache    *BaselineCache
+	onResult func(Progress)
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewBaselineCache()
+	}
+	return &Engine{workers: w, cache: cache, onResult: opts.OnResult}
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's baseline cache.
+func (e *Engine) Cache() *BaselineCache { return e.cache }
+
+// Run executes one job: the baseline (through the cache) and the
+// managed run, paired into an Outcome.
+func (e *Engine) Run(ctx context.Context, job Job) (Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	if job.Epochs <= 0 {
+		return Outcome{}, fmt.Errorf("runner: job epochs must be positive, got %d", job.Epochs)
+	}
+
+	cfg := config.Default()
+	if job.Gamma > 0 {
+		cfg.Policy.Gamma = job.Gamma
+	}
+	if job.Cores > 0 {
+		cfg.Cores = job.Cores
+	}
+	if job.Channels > 0 {
+		cfg.Channels = job.Channels
+	}
+	if job.Mutate != nil {
+		job.Mutate(&cfg)
+	}
+
+	base, nonMem, err := e.cache.Baseline(ctx, cfg, job.Mix, job.Epochs)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	if job.Spec.Configure != nil {
+		job.Spec.Configure(&cfg)
+	}
+	streams, err := job.Mix.Streams(&cfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	var gov sim.Governor
+	if job.Spec.Governor != nil {
+		gov = job.Spec.Governor(&cfg, nonMem)
+	}
+	s, err := sim.New(cfg, streams, sim.Options{
+		Governor:     gov,
+		NonMemPower:  nonMem,
+		KeepTimeline: job.Timeline,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	res, err := s.RunForContext(ctx, config.Time(job.Epochs)*cfg.Policy.EpochLength)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Mix: job.Mix, Policy: job.Spec.Name, NonMem: nonMem, Base: base, Res: res}, nil
+}
+
+// RunEach executes every job on the worker pool and returns outcomes
+// and errors both indexed like jobs (deterministic ordering regardless
+// of completion order). One job's failure does not stop the others;
+// cancellation does — jobs not yet started report ctx.Err().
+func (e *Engine) RunEach(ctx context.Context, jobs []Job) ([]Outcome, []error) {
+	outs := make([]Outcome, len(jobs))
+	errs := make([]error, len(jobs))
+	if len(jobs) == 0 {
+		return outs, errs
+	}
+
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		mu   sync.Mutex // guards next and done; serializes OnResult
+		next int
+		done int
+		wg   sync.WaitGroup
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		i := next
+		next++
+		return i
+	}
+	finish := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if e.onResult != nil {
+			e.onResult(Progress{
+				Done: done, Total: len(jobs), Index: i,
+				Job: jobs[i], Outcome: outs[i], Err: errs[i],
+			})
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i >= len(jobs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Drain the remaining jobs without running them.
+					errs[i] = err
+				} else {
+					outs[i], errs[i] = e.Run(ctx, jobs[i])
+				}
+				finish(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// RunAll is RunEach with the per-job errors joined into one error
+// annotated with each failing job's identity; outcomes for failed jobs
+// are zero values.
+func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]Outcome, error) {
+	outs, errs := e.RunEach(ctx, jobs)
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("job %d (%s/%s): %w",
+				i, jobs[i].Mix.Name, jobs[i].Spec.Name, err))
+		}
+	}
+	return outs, errors.Join(joined...)
+}

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"memscale/internal/config"
@@ -215,7 +216,7 @@ func (s *System) window(start, now config.Time, freq config.FreqMHz) Profile {
 // least target instructions (the paper's "slowest application reaches
 // 100M" criterion), or MaxDuration elapses.
 func (s *System) RunForInstructions(target float64) Result {
-	return s.run(func(now config.Time) bool {
+	r, _ := s.run(context.Background(), func(now config.Time) bool {
 		for _, c := range s.Cores {
 			if c.Instructions(now) < target {
 				return false
@@ -223,14 +224,58 @@ func (s *System) RunForInstructions(target float64) Result {
 		}
 		return true
 	})
+	return r
 }
 
 // RunFor runs whole epochs until at least d has elapsed.
 func (s *System) RunFor(d config.Time) Result {
-	return s.run(func(now config.Time) bool { return now >= d })
+	r, _ := s.RunForContext(context.Background(), d)
+	return r
 }
 
-func (s *System) run(done func(config.Time) bool) Result {
+// RunForContext is RunFor with cancellation: it runs whole epochs
+// until at least d has elapsed, polling ctx at a sub-epoch granularity
+// so a cancelled run returns promptly with ctx.Err(). A run is only
+// meaningful when the error is nil; cancellation discards the partial
+// result. Cancellation never alters a completed run: the event
+// sequence of an uncancelled simulation is bit-identical to RunFor.
+func (s *System) RunForContext(ctx context.Context, d config.Time) (Result, error) {
+	return s.run(ctx, func(now config.Time) bool { return now >= d })
+}
+
+// cancelCheckStep is the simulated-time granularity at which the epoch
+// loop polls the context: 100 us gives ~50 checks per 5 ms OS quantum,
+// keeping cancellation latency a small fraction of an epoch's host
+// time while adding negligible overhead.
+const cancelCheckStep = 100 * config.Microsecond
+
+// stepUntil drains the event queue up to deadline, polling ctx every
+// cancelCheckStep of simulated time. Splitting RunUntil into chunks is
+// behavior-identical: events still fire in timestamp order, and the
+// clock lands exactly on deadline.
+func (s *System) stepUntil(ctx context.Context, deadline config.Time) error {
+	if ctx.Done() == nil {
+		// No cancellation possible (context.Background()): skip the
+		// chunking entirely.
+		s.Q.RunUntil(deadline)
+		return nil
+	}
+	for {
+		next := s.Q.Now() + cancelCheckStep
+		if next > deadline {
+			next = deadline
+		}
+		s.Q.RunUntil(next)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if next >= deadline {
+			return nil
+		}
+	}
+}
+
+func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, error) {
 	s.start()
 	epoch := s.Cfg.Policy.EpochLength
 	profLen := s.Cfg.Policy.ProfilingLength
@@ -241,7 +286,9 @@ func (s *System) run(done func(config.Time) bool) Result {
 
 		// Profiling phase.
 		profEnd := start + profLen
-		s.Q.RunUntil(profEnd)
+		if err := s.stepUntil(ctx, profEnd); err != nil {
+			return Result{}, err
+		}
 		p := s.window(start, profEnd, freq)
 
 		// Control algorithm invocation + bus frequency re-locking.
@@ -265,7 +312,9 @@ func (s *System) run(done func(config.Time) bool) Result {
 
 		// Run out the epoch at the chosen frequency.
 		epochEnd := start + epoch
-		s.Q.RunUntil(epochEnd)
+		if err := s.stepUntil(ctx, epochEnd); err != nil {
+			return Result{}, err
+		}
 		ep := s.window(profEnd, epochEnd, chosen)
 		if s.opts.Governor != nil {
 			// The governor accounts slack over the whole epoch.
@@ -311,7 +360,7 @@ func (s *System) run(done func(config.Time) bool) Result {
 			break
 		}
 	}
-	return s.finalize()
+	return s.finalize(), nil
 }
 
 func (s *System) finalize() Result {

@@ -1,11 +1,24 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"memscale/internal/config"
 	"memscale/internal/trace"
+)
+
+// Sentinel errors for name lookups. Lookup failures wrap these with
+// %w, so callers can match with errors.Is regardless of the message
+// detail. The public memscale package re-exports them.
+var (
+	// ErrUnknownMix reports a mix name outside Table 1.
+	ErrUnknownMix = errors.New("unknown workload mix")
+
+	// ErrUnknownApp reports an application name outside the profiled
+	// SPEC set.
+	ErrUnknownApp = errors.New("unknown application")
 )
 
 // Class partitions the Table 1 mixes by memory intensity.
@@ -68,7 +81,7 @@ func ByName(name string) (Mix, error) {
 			return m, nil
 		}
 	}
-	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+	return Mix{}, fmt.Errorf("workload: %w %q", ErrUnknownMix, name)
 }
 
 // Names returns the names of all mixes in Table 1 order.

@@ -95,7 +95,7 @@ func init() {
 func App(name string) (trace.Profile, error) {
 	p, ok := apps[name]
 	if !ok {
-		return trace.Profile{}, fmt.Errorf("workload: unknown application %q", name)
+		return trace.Profile{}, fmt.Errorf("workload: %w %q", ErrUnknownApp, name)
 	}
 	return p, nil
 }

@@ -12,25 +12,50 @@
 // The top-level API runs (workload, policy) pairs against the
 // unmanaged baseline and reports paired energy/performance outcomes:
 //
-//	sum, err := memscale.Run(memscale.RunConfig{Mix: "MID1", Policy: "MemScale"})
+//	sum, err := memscale.RunContext(ctx, memscale.RunConfig{Mix: "MID1", Policy: "MemScale"})
 //	fmt.Printf("system energy savings: %.1f%%\n", sum.SystemSavings*100)
+//
+// Grids of runs go through Sweep, which executes jobs concurrently on
+// a worker pool and simulates each distinct baseline exactly once:
+//
+//	sums, err := memscale.Sweep(ctx, memscale.SweepConfig{
+//		Runs: memscale.Grid(memscale.RunConfig{}, memscale.Mixes(), memscale.Policies()),
+//	})
 //
 // For the full evaluation (every table and figure of the paper), see
 // the Experiments API and cmd/memscale-repro.
 package memscale
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"memscale/internal/config"
 	"memscale/internal/policies"
-	"memscale/internal/power"
-	"memscale/internal/sim"
+	"memscale/internal/runner"
 	"memscale/internal/workload"
 )
 
 // Version of the library.
-const Version = "1.0.0"
+const Version = "1.1.0"
+
+// Typed sentinel errors. Failures wrap these with %w, so callers can
+// classify them with errors.Is regardless of message detail:
+//
+//	if errors.Is(err, memscale.ErrUnknownMix) { ... }
+var (
+	// ErrUnknownMix reports a RunConfig.Mix outside the Table 1 names.
+	ErrUnknownMix = workload.ErrUnknownMix
+
+	// ErrUnknownPolicy reports a RunConfig.Policy outside Policies().
+	ErrUnknownPolicy = policies.ErrUnknownPolicy
+
+	// ErrInvalidConfig reports a RunConfig whose scaling fields are
+	// degenerate (negative epoch/core/channel counts, out-of-range
+	// gamma, or a machine shape the simulator rejects).
+	ErrInvalidConfig = errors.New("invalid run configuration")
+)
 
 // RunConfig selects and scales one simulation.
 type RunConfig struct {
@@ -56,6 +81,75 @@ type RunConfig struct {
 
 	// Timeline retains per-epoch frequency/CPI records.
 	Timeline bool
+}
+
+// validate rejects degenerate scaling values up front with
+// ErrInvalidConfig, before any simulation runs. Zero values are
+// allowed: they select the documented defaults.
+func (rc RunConfig) validate() error {
+	switch {
+	case rc.Epochs < 0:
+		return fmt.Errorf("%w: Epochs must be >= 0 (0 selects the default 10), got %d",
+			ErrInvalidConfig, rc.Epochs)
+	case rc.Gamma < 0 || rc.Gamma >= 1:
+		return fmt.Errorf("%w: Gamma must be in [0, 1) (0 selects the default 0.10), got %g",
+			ErrInvalidConfig, rc.Gamma)
+	case rc.Cores < 0:
+		return fmt.Errorf("%w: Cores must be >= 0 (0 selects the default), got %d",
+			ErrInvalidConfig, rc.Cores)
+	case rc.Channels < 0:
+		return fmt.Errorf("%w: Channels must be >= 0 (0 selects the default), got %d",
+			ErrInvalidConfig, rc.Channels)
+	}
+	// Positive but unusable machine shapes are caught by the simulator
+	// configuration's own validation; surface them under the same
+	// typed error instead of a NaN-filled summary later.
+	cfg := config.Default()
+	if rc.Cores > 0 {
+		cfg.Cores = rc.Cores
+	}
+	if rc.Channels > 0 {
+		cfg.Channels = rc.Channels
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	return nil
+}
+
+// withDefaults fills the documented defaults into zero fields.
+func (rc RunConfig) withDefaults() RunConfig {
+	if rc.Epochs == 0 {
+		rc.Epochs = 10
+	}
+	if rc.Gamma == 0 {
+		rc.Gamma = 0.10
+	}
+	if rc.Policy == "" {
+		rc.Policy = "MemScale"
+	}
+	return rc
+}
+
+// job resolves a validated, defaulted RunConfig into an engine job.
+func (rc RunConfig) job() (runner.Job, error) {
+	mix, err := workload.ByName(rc.Mix)
+	if err != nil {
+		return runner.Job{}, err
+	}
+	spec, err := policies.ByName(rc.Policy)
+	if err != nil {
+		return runner.Job{}, err
+	}
+	return runner.Job{
+		Mix:      mix,
+		Spec:     spec,
+		Epochs:   rc.Epochs,
+		Gamma:    rc.Gamma,
+		Cores:    rc.Cores,
+		Channels: rc.Channels,
+		Timeline: rc.Timeline,
+	}, nil
 }
 
 // EpochSample is one OS quantum of a timeline run.
@@ -102,126 +196,59 @@ func Policies() []string { return policies.Names() }
 // Run executes one (mix, policy) pair and its baseline, returning the
 // paired summary. Runs are deterministic: the same RunConfig always
 // produces identical results.
+//
+// Deprecated: Run is a thin wrapper over RunContext with
+// context.Background(), kept so existing callers compile unchanged.
+// New code should use RunContext (cancellable single runs) or Sweep
+// (parallel grids with baseline sharing).
 func Run(rc RunConfig) (RunSummary, error) {
-	if rc.Epochs <= 0 {
-		rc.Epochs = 10
-	}
-	if rc.Gamma <= 0 {
-		rc.Gamma = 0.10
-	}
-	if rc.Policy == "" {
-		rc.Policy = "MemScale"
-	}
-	mix, err := workload.ByName(rc.Mix)
-	if err != nil {
-		return RunSummary{}, err
-	}
-	spec, err := policies.ByName(rc.Policy)
-	if err != nil {
-		return RunSummary{}, err
-	}
-
-	mkCfg := func() config.Config {
-		cfg := config.Default()
-		cfg.Policy.Gamma = rc.Gamma
-		if rc.Cores > 0 {
-			cfg.Cores = rc.Cores
-		}
-		if rc.Channels > 0 {
-			cfg.Channels = rc.Channels
-		}
-		return cfg
-	}
-	duration := config.Time(rc.Epochs) * mkCfg().Policy.EpochLength
-
-	// Baseline run and rest-of-system calibration (Section 4.1: DIMMs
-	// average 40% of server power at the baseline).
-	baseCfg := mkCfg()
-	baseStreams, err := mix.Streams(&baseCfg)
-	if err != nil {
-		return RunSummary{}, err
-	}
-	baseSys, err := sim.New(baseCfg, baseStreams, sim.Options{})
-	if err != nil {
-		return RunSummary{}, err
-	}
-	base := baseSys.RunFor(duration)
-	nonMem := power.NewModel(&baseCfg).RestOfSystemPower(base.DIMMAvgWatts)
-
-	// Managed run.
-	cfg := mkCfg()
-	if spec.Configure != nil {
-		spec.Configure(&cfg)
-	}
-	streams, err := mix.Streams(&cfg)
-	if err != nil {
-		return RunSummary{}, err
-	}
-	// The MemScale specs read gamma from cfg.Policy.Gamma, which mkCfg
-	// already set from rc.Gamma.
-	var gov sim.Governor
-	if spec.Governor != nil {
-		gov = spec.Governor(&cfg, nonMem)
-	}
-	s, err := sim.New(cfg, streams, sim.Options{
-		Governor:     gov,
-		NonMemPower:  nonMem,
-		KeepTimeline: rc.Timeline,
-	})
-	if err != nil {
-		return RunSummary{}, err
-	}
-	res := s.RunFor(duration)
-
-	return summarize(mix, spec.Name, nonMem, base, res), nil
+	return RunContext(context.Background(), rc)
 }
 
-func summarize(mix workload.Mix, policy string, nonMem float64, base, res sim.Result) RunSummary {
-	sysE := func(r sim.Result) float64 {
-		return r.Memory.Memory() + nonMem*r.Duration.Seconds()
+// RunContext executes one (mix, policy) pair and its baseline under
+// ctx, returning the paired summary. Cancellation is honoured
+// mid-simulation: the run returns promptly with ctx.Err(). An
+// uncancelled run is deterministic and bit-identical to the same
+// RunConfig executed anywhere else — inside a Sweep, on any worker
+// count, or via the deprecated Run.
+func RunContext(ctx context.Context, rc RunConfig) (RunSummary, error) {
+	if err := rc.validate(); err != nil {
+		return RunSummary{}, err
 	}
-	out := RunSummary{
-		Mix:             mix.Name,
-		Policy:          policy,
+	job, err := rc.withDefaults().job()
+	if err != nil {
+		return RunSummary{}, err
+	}
+	out, err := runner.New(runner.Options{Workers: 1}).Run(ctx, job)
+	if err != nil {
+		return RunSummary{}, err
+	}
+	return summarize(out), nil
+}
+
+// summarize folds a paired outcome into the public summary. The
+// savings/CPI metrics guard degenerate zero-energy and zero-CPI
+// baselines (see runner.Outcome), so a RunSummary never carries
+// NaN/Inf.
+func summarize(out runner.Outcome) RunSummary {
+	res := out.Res
+	sum := RunSummary{
+		Mix:             out.Mix.Name,
+		Policy:          out.Policy,
 		DurationSeconds: res.Duration.Seconds(),
 		MemoryEnergyJ:   res.Memory.Memory(),
-		SystemEnergyJ:   sysE(res),
-		MemorySavings:   1 - res.Memory.Memory()/base.Memory.Memory(),
-		SystemSavings:   1 - sysE(res)/sysE(base),
+		SystemEnergyJ:   out.SystemEnergy(res),
+		MemorySavings:   out.MemorySavings(),
+		SystemSavings:   out.SystemSavings(),
 		FreqSeconds:     map[int]float64{},
 	}
-
-	// Per-application CPI degradation.
-	type agg struct{ cur, base, n float64 }
-	perApp := map[string]*agg{}
-	for i := range res.CPI {
-		app := mix.Assignment(i)
-		a := perApp[app]
-		if a == nil {
-			a = &agg{}
-			perApp[app] = a
-		}
-		a.cur += res.CPI[i]
-		a.base += base.CPI[i]
-		a.n++
-	}
-	var sum float64
-	worst := 0.0
-	for _, a := range perApp {
-		inc := a.cur/a.base - 1
-		sum += inc
-		if inc > worst {
-			worst = inc
-		}
-	}
-	out.AvgCPIIncrease = sum / float64(len(perApp))
-	out.WorstCPIIncrease = worst
+	sum.AvgCPIIncrease, sum.WorstCPIIncrease = out.CPIIncrease()
 
 	for f, t := range res.FreqTime {
-		out.FreqSeconds[int(f)] = t.Seconds()
+		sum.FreqSeconds[int(f)] = t.Seconds()
 	}
 	for _, ep := range res.Epochs {
-		out.Timeline = append(out.Timeline, EpochSample{
+		sum.Timeline = append(sum.Timeline, EpochSample{
 			StartMs:     ep.Start.Milliseconds(),
 			EndMs:       ep.End.Milliseconds(),
 			BusFreqMHz:  int(ep.Freq),
@@ -229,7 +256,7 @@ func summarize(mix workload.Mix, policy string, nonMem float64, base, res sim.Re
 			ChannelUtil: ep.ChannelUtil,
 		})
 	}
-	return out
+	return sum
 }
 
 // String renders a one-line summary.

@@ -164,6 +164,47 @@ func BenchmarkSingleRun(b *testing.B) {
 	}
 }
 
+// benchSweepGrid is the fixed grid behind BenchmarkSweep and
+// BenchmarkSweepTelemetry, so the pair isolates the telemetry
+// subsystem's overhead on an otherwise identical workload.
+func benchSweepGrid(tc *TelemetryConfig) []RunConfig {
+	return Grid(
+		RunConfig{Epochs: 1, Cores: 4, Channels: 2, Telemetry: tc},
+		[]string{"MID1", "MEM1"},
+		[]string{"MemScale", "Static"},
+	)
+}
+
+// BenchmarkSweep is the telemetry-off reference sweep; the CI
+// benchmark guard runs it once per push. With telemetry disabled every
+// instrumented hot path reduces to one nil check, so this benchmark
+// must stay within noise of its pre-telemetry cost.
+func BenchmarkSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(context.Background(), SweepConfig{Runs: benchSweepGrid(nil)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepTelemetry is the same sweep with full telemetry
+// (collectors + event stream) enabled, bounding the cost of turning
+// instrumentation on.
+func BenchmarkSweepTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	tc := &TelemetryConfig{Events: true}
+	for i := 0; i < b.N; i++ {
+		sums, err := Sweep(context.Background(), SweepConfig{Runs: benchSweepGrid(tc)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sums[0].Telemetry == nil {
+			b.Fatal("telemetry export missing")
+		}
+	}
+}
+
 // BenchmarkSweepSpeedup times the same policy-comparison grid run
 // serially and on a GOMAXPROCS-wide worker pool, and reports the
 // wall-clock ratio as "speedup-x". On a single-core host the ratio

@@ -1,0 +1,112 @@
+// Command memscale-report summarizes exported run telemetry. It loads
+// one or more JSONL telemetry files (written by memscale-sim
+// -telemetry-out or the library's WriteTelemetry) and prints per-run
+// and aggregate digests: state and frequency residency, read-latency
+// and queue-depth distributions, and governor decision quality. The
+// CSV flags emit figure-ready views instead of (or alongside) the
+// digest.
+//
+// Usage:
+//
+//	memscale-report run.jsonl [more.jsonl ...]
+//	memscale-report -residency fig7.csv -decisions dec.csv run.jsonl
+//	memscale-sim -mix MID3 -telemetry-out - | memscale-report -
+//
+// A path of "-" reads stdin (input) or writes stdout (CSV flags).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memscale"
+)
+
+func main() {
+	residency := flag.String("residency", "", "write the figure7-style per-epoch residency CSV to this path")
+	latency := flag.String("latency", "", "write the read-latency histogram CSV to this path")
+	decisions := flag.String("decisions", "", "write the governor decision trace CSV to this path")
+	freq := flag.String("freq", "", "write the per-run frequency residency CSV to this path")
+	events := flag.String("events", "", "write the raw event trace CSV to this path")
+	quiet := flag.Bool("q", false, "suppress the human-readable summary")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "memscale-report: no input files (use - for stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var exports []*memscale.TelemetryExport
+	for _, path := range flag.Args() {
+		runs, err := load(path)
+		if err != nil {
+			fatal(err)
+		}
+		exports = append(exports, runs...)
+	}
+
+	type view struct {
+		path  string
+		write func(io.Writer, []*memscale.TelemetryExport) error
+	}
+	for _, v := range []view{
+		{*residency, memscale.WriteResidencyCSV},
+		{*latency, memscale.WriteLatencyCSV},
+		{*decisions, memscale.WriteDecisionsCSV},
+		{*freq, memscale.WriteFreqCSV},
+		{*events, memscale.WriteEventsCSV},
+	} {
+		if v.path == "" {
+			continue
+		}
+		if err := emit(v.path, exports, v.write); err != nil {
+			fatal(err)
+		}
+	}
+
+	if !*quiet {
+		if err := memscale.WriteTelemetrySummary(os.Stdout, exports); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func load(path string) ([]*memscale.TelemetryExport, error) {
+	if path == "-" {
+		return memscale.ReadTelemetry(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs, err := memscale.ReadTelemetry(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return runs, nil
+}
+
+func emit(path string, exports []*memscale.TelemetryExport,
+	write func(io.Writer, []*memscale.TelemetryExport) error) error {
+	if path == "-" {
+		return write(os.Stdout, exports)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, exports); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memscale-report:", err)
+	os.Exit(1)
+}

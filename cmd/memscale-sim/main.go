@@ -30,12 +30,14 @@ func main() {
 	cores := flag.Int("cores", 0, "core count override (default 16)")
 	channels := flag.Int("channels", 0, "channel count override (default 4)")
 	timeline := flag.Bool("timeline", false, "print the per-epoch frequency/CPI timeline")
+	telemetryOut := flag.String("telemetry-out", "",
+		"collect full telemetry (with events) and write it as JSONL to this file; read it with memscale-report")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	sum, err := memscale.RunContext(ctx, memscale.RunConfig{
+	rc := memscale.RunConfig{
 		Mix:      *mix,
 		Policy:   *policy,
 		Epochs:   *epochs,
@@ -43,10 +45,28 @@ func main() {
 		Cores:    *cores,
 		Channels: *channels,
 		Timeline: *timeline,
-	})
+	}
+	if *telemetryOut != "" {
+		rc.Telemetry = &memscale.TelemetryConfig{Events: true}
+	}
+	sum, err := memscale.RunContext(ctx, rc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memscale-sim:", err)
 		os.Exit(1)
+	}
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		if err == nil {
+			err = memscale.WriteTelemetry(f, sum)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memscale-sim: telemetry:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry written to %s\n", *telemetryOut)
 	}
 
 	fmt.Println(sum)
@@ -83,7 +103,7 @@ func main() {
 				util /= float64(len(ep.ChannelUtil))
 			}
 			fmt.Printf("  t=%6.1fms  %4d MHz  CPI %.2f-%.2f  chan util %4.1f%%\n",
-				ep.EndMs, ep.BusFreqMHz, cpiMin, cpiMax, util*100)
+				ep.EndMs(), ep.BusFreqMHz(), cpiMin, cpiMax, util*100)
 		}
 	}
 }

@@ -31,17 +31,17 @@ func main() {
 	fmt.Println("   t(ms)  bus freq   frequency ladder (high <-> low)")
 	for _, ep := range sum.Timeline {
 		// Draw the frequency as a bar: more # = higher frequency.
-		steps := (ep.BusFreqMHz - 200) / 60
+		steps := (ep.BusFreqMHz() - 200) / 60
 		bar := strings.Repeat("#", 1+steps)
-		fmt.Printf("  %6.1f  %4d MHz   %s\n", ep.EndMs, ep.BusFreqMHz, bar)
+		fmt.Printf("  %6.1f  %4d MHz   %s\n", ep.EndMs(), ep.BusFreqMHz(), bar)
 	}
 	fmt.Println()
 
 	// Locate the adaptation: the first epoch where frequency rose.
 	for i := 1; i < len(sum.Timeline); i++ {
-		if sum.Timeline[i].BusFreqMHz > sum.Timeline[i-1].BusFreqMHz {
+		if sum.Timeline[i].BusFreqMHz() > sum.Timeline[i-1].BusFreqMHz() {
 			fmt.Printf("phase change detected: frequency raised %d -> %d MHz at t=%.0f ms\n",
-				sum.Timeline[i-1].BusFreqMHz, sum.Timeline[i].BusFreqMHz, sum.Timeline[i].StartMs)
+				sum.Timeline[i-1].BusFreqMHz(), sum.Timeline[i].BusFreqMHz(), sum.Timeline[i].StartMs())
 			break
 		}
 	}

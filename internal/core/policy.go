@@ -199,6 +199,27 @@ func (p *Policy) EpochEnd(prof sim.Profile) {
 	}
 }
 
+// PredictedMeanCPI returns the fitted model's mean CPI across active
+// cores at bus frequency f — what the governor expected the epoch to
+// cost when it chose f. Zero when no core has observations. The
+// simulator probes this optional method to pair predictions with
+// measured epoch CPIs in the telemetry decision trace.
+func (p *Policy) PredictedMeanCPI(f config.FreqMHz) float64 {
+	var sum float64
+	var n int
+	for i := range p.slack {
+		if p.model.CPIObs[i] <= 0 {
+			continue
+		}
+		sum += p.model.CPI(i, f)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // Decisions returns how many frequency decisions the policy has made.
 func (p *Policy) Decisions() int { return p.decisions }
 

@@ -196,20 +196,13 @@ func (p Params) Figure8() (Report, error) {
 func addTimelineRows(t *stats.Table, res *sim.Result, mix workload.Mix) {
 	for _, ep := range res.Epochs {
 		// Average CPI across each application's instances.
-		perApp := map[string]*stats.Series{}
-		for core, cpi := range ep.CoreCPI {
-			app := mix.Assignment(core)
-			if perApp[app] == nil {
-				perApp[app] = &stats.Series{}
-			}
-			perApp[app].Add(cpi)
-		}
+		perApp := ep.PerAppCPI(mix.Assignment)
 		row := []string{
 			fmt.Sprintf("%.0f", ep.End.Milliseconds()),
 			ep.Freq.String(),
 		}
 		for _, app := range mix.Apps {
-			row = append(row, stats.F2(perApp[app].Mean()))
+			row = append(row, stats.F2(perApp[app]))
 		}
 		for _, u := range ep.ChannelUtil {
 			row = append(row, stats.Pct(u))

@@ -18,6 +18,7 @@ import (
 	"memscale/internal/dram"
 	"memscale/internal/event"
 	"memscale/internal/power"
+	"memscale/internal/telemetry"
 )
 
 // Request is one memory transaction in flight through the controller.
@@ -82,6 +83,11 @@ type Controller struct {
 	counters Counters
 
 	flushedAt config.Time // start of the current power interval
+
+	// tel, when non-nil, receives latency/queue-depth samples and
+	// powerdown/refresh/relock events. Purely observational: no
+	// scheduling decision reads it.
+	tel *telemetry.Recorder
 }
 
 // New builds a controller for cfg, scheduling on q. Every channel
@@ -164,6 +170,9 @@ func (c *Controller) MCBusFreq() config.FreqMHz { return c.mcBusFreq }
 // DevFreq returns channel 0's DRAM device frequency.
 func (c *Controller) DevFreq() config.FreqMHz { return c.channels[0].timing.DevFreq }
 
+// SetTelemetry attaches a recorder. Pass nil to detach.
+func (c *Controller) SetTelemetry(tel *telemetry.Recorder) { c.tel = tel }
+
 // Counters returns a snapshot of the performance counters.
 func (c *Controller) Counters() Counters { return c.counters.Clone() }
 
@@ -196,6 +205,10 @@ func (c *Controller) Enqueue(now config.Time, line uint64, write bool, core int,
 	if !write {
 		c.counters.TLM[core]++
 		pc.TLM[core]++
+	}
+
+	if c.tel != nil {
+		c.tel.ObserveQueueDepth(c.QueuedRequests())
 	}
 
 	ch.outstanding[b]++
@@ -302,6 +315,9 @@ func (c *Controller) startBankService(now config.Time, chIdx int, b bankID, req 
 	if pdExit {
 		c.counters.EPDC++
 		pc.EPDC++
+		if c.tel != nil {
+			c.tel.PowerdownExit(now, chIdx, rankIdx)
+		}
 	}
 
 	// Decoupled DIMMs: the device-side transfer into the
@@ -365,6 +381,9 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 	} else {
 		c.counters.Reads++
 		pc.Reads++
+		if c.tel != nil {
+			c.tel.ObserveReadLatency(busEnd - req.Arrived)
+		}
 	}
 
 	if keepOpen {
@@ -398,7 +417,10 @@ func (c *Controller) maybePowerdown(now config.Time, chIdx, rankIdx int) {
 		return
 	}
 	rank := c.ranks[chIdx][rankIdx]
-	rank.EnterPowerdown(now, c.cfg.Powerdown == config.PowerdownSlow)
+	slow := c.cfg.Powerdown == config.PowerdownSlow
+	if rank.EnterPowerdown(now, slow) && c.tel != nil {
+		c.tel.PowerdownEnter(now, chIdx, rankIdx, slow)
+	}
 }
 
 // refreshTimer fires every tREFI per rank.
@@ -420,6 +442,9 @@ func (c *Controller) refreshKick(now config.Time, chIdx, rankIdx int) {
 	until, ok := rank.TryStartRefresh(now)
 	if !ok {
 		return // still in service; the next FinishAccess re-kicks
+	}
+	if c.tel != nil {
+		c.tel.Refresh(now, chIdx, rankIdx, until-now)
 	}
 	c.q.Schedule(until, func(at config.Time) {
 		rank.RefreshDone(at)
@@ -503,6 +528,9 @@ func (c *Controller) SetChannelFrequency(now config.Time, chIdx int, f config.Fr
 	}
 	ch.relocking = true
 	ch.relockUntil = now + c.RelockPenalty(f)
+	if c.tel != nil {
+		c.tel.FreqTransition(now, chIdx, ch.timing.BusFreq, f, c.RelockPenalty(f))
+	}
 	c.q.Schedule(ch.relockUntil, func(config.Time) {
 		ch.timing = dram.Resolve(c.cfg.Timing, f, c.devFreqFor(f))
 		ch.relocking = false

@@ -1,0 +1,18 @@
+package power
+
+import "memscale/internal/telemetry"
+
+// Export converts the breakdown to the telemetry layer's mirror type.
+// Telemetry sits below power in the import graph, so the conversion
+// lives here rather than there.
+func (b Breakdown) Export() telemetry.Energy {
+	return telemetry.Energy{
+		Background:  b.Background,
+		ActPre:      b.ActPre,
+		ReadWrite:   b.ReadWrite,
+		Termination: b.Termination,
+		Refresh:     b.Refresh,
+		PLLReg:      b.PLLReg,
+		MC:          b.MC,
+	}
+}

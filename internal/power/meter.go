@@ -1,32 +1,53 @@
 package power
 
-import "memscale/internal/config"
+import (
+	"memscale/internal/config"
+	"memscale/internal/dram"
+	"memscale/internal/telemetry"
+)
 
 // Meter integrates interval energies over a run and exposes totals and
 // averages. The simulator feeds it one Interval per stretch of
 // constant frequency (and at epoch boundaries for reporting).
 type Meter struct {
-	model    *Model
-	total    Breakdown
-	duration config.Time
+	model     *Model
+	total     Breakdown
+	duration  config.Time
+	residency dram.Account
 
 	intervals int
+
+	tel *telemetry.Recorder
 }
 
 // NewMeter builds a meter over the given model.
 func NewMeter(m *Model) *Meter { return &Meter{model: m} }
+
+// SetTelemetry attaches a recorder; every subsequent Record mirrors
+// its interval into the recorder's rollup, in the same order the meter
+// accumulates, so telemetry totals reconcile exactly with Total().
+func (mt *Meter) SetTelemetry(tel *telemetry.Recorder) { mt.tel = tel }
 
 // Record integrates one interval and returns its energy breakdown.
 func (mt *Meter) Record(iv Interval) Breakdown {
 	b := mt.model.Energy(iv)
 	mt.total.Add(b)
 	mt.duration += iv.Duration
+	res := iv.DRAMTotal()
+	mt.residency.Add(res)
 	mt.intervals++
+	if mt.tel != nil {
+		mt.tel.PowerInterval(iv.Duration, res, b.Export())
+	}
 	return b
 }
 
 // Total returns the accumulated energy breakdown.
 func (mt *Meter) Total() Breakdown { return mt.total }
+
+// Residency returns the accumulated DRAM state-residency account,
+// summed over all ranks.
+func (mt *Meter) Residency() dram.Account { return mt.residency }
 
 // Duration returns the accumulated time.
 func (mt *Meter) Duration() config.Time { return mt.duration }

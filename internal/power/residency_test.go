@@ -1,0 +1,106 @@
+package power_test
+
+// State-residency conservation across frequency transitions. Every
+// picosecond of every rank must land in exactly one accounted state —
+// in particular, the PLL/DLL relock window that halts dispatch during
+// a frequency switch must not be double-counted as active time (or
+// dropped). The oscillating governor below forces a relock at every
+// epoch boundary, the worst case for the accounting.
+
+import (
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/sim"
+	"memscale/internal/telemetry"
+	"memscale/internal/workload"
+)
+
+// oscGov alternates between two ladder frequencies every epoch,
+// forcing a relock per decision.
+type oscGov struct {
+	freqs []config.FreqMHz
+	n     int
+}
+
+func (g *oscGov) Name() string { return "osc" }
+func (g *oscGov) ProfileComplete(sim.Profile) config.FreqMHz {
+	f := g.freqs[g.n%len(g.freqs)]
+	g.n++
+	return f
+}
+func (g *oscGov) EpochEnd(sim.Profile) {}
+
+func oscillatingRun(t *testing.T, tel *telemetry.Recorder) (sim.Result, config.Config) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Cores = 4
+	cfg.Channels = 2
+	mix, err := workload.ByName("MID1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := mix.Streams(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(cfg, streams, sim.Options{
+		Governor:     &oscGov{freqs: []config.FreqMHz{200, 800}},
+		KeepTimeline: true,
+		Telemetry:    tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.RunFor(3 * cfg.Policy.EpochLength), cfg
+}
+
+func TestResidencyConservedAcrossFrequencyTransitions(t *testing.T) {
+	res, cfg := oscillatingRun(t, nil)
+
+	ranks := config.Time(cfg.TotalRanks())
+	want := res.Duration * ranks
+	if got := res.Residency.Total(); got != want {
+		t.Fatalf("residency total = %d ps, want duration*ranks = %d ps (off by %d): relock windows double-counted or dropped",
+			got, want, got-want)
+	}
+
+	// The same invariant must hold per epoch: each snapshot covers its
+	// epoch exactly, including the relock that opened it.
+	for _, ep := range res.Epochs {
+		want := (ep.End - ep.Start) * ranks
+		if got := ep.Residency.Total(); got != want {
+			t.Errorf("epoch %d residency total = %d ps, want %d ps", ep.Index, got, want)
+		}
+	}
+
+	// The oscillation actually exercised both operating points.
+	if len(res.FreqTime) < 2 {
+		t.Fatalf("expected two frequencies in residency, got %v", res.FreqTime)
+	}
+
+	// Relock windows halt dispatch with CKE high and banks precharged:
+	// they must appear as standby time, so standby can't be zero.
+	if res.Residency.PrechargeStandby == 0 {
+		t.Error("no precharge-standby time accounted under an oscillating governor")
+	}
+}
+
+func TestMeterResidencyMatchesTelemetry(t *testing.T) {
+	rec := telemetry.NewRecorder(telemetry.Options{})
+	res, _ := oscillatingRun(t, rec)
+
+	if rec.Residency() != res.Residency {
+		t.Errorf("telemetry residency %+v != meter residency %+v", rec.Residency(), res.Residency)
+	}
+
+	// The per-epoch snapshots partition the run: their residencies must
+	// sum to the meter total exactly (integer picoseconds, no epsilon).
+	var sum config.Time
+	for _, ep := range rec.Epochs() {
+		sum += ep.Residency.Total()
+	}
+	if sum != res.Residency.Total() {
+		t.Errorf("epoch residency sum = %d ps, run total = %d ps", sum, res.Residency.Total())
+	}
+}

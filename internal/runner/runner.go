@@ -22,6 +22,7 @@ import (
 	"memscale/internal/policies"
 	"memscale/internal/sim"
 	"memscale/internal/stats"
+	"memscale/internal/telemetry"
 	"memscale/internal/workload"
 )
 
@@ -47,6 +48,13 @@ type Job struct {
 
 	// Timeline retains per-epoch records in the managed run's Result.
 	Timeline bool
+
+	// Telemetry, when non-nil, instruments the managed run with a
+	// private recorder (one per job, so parallel sweeps never share
+	// mutable state) and attaches its export to the Outcome. The
+	// baseline run is never instrumented: it is memoized and shared
+	// across jobs.
+	Telemetry *telemetry.Options
 }
 
 // Outcome is one managed run paired with its baseline.
@@ -56,6 +64,10 @@ type Outcome struct {
 	NonMem float64 // rest-of-system watts used for both runs
 	Base   sim.Result
 	Res    sim.Result
+
+	// Telemetry is the managed run's export when the job requested it,
+	// nil otherwise.
+	Telemetry *telemetry.RunExport
 }
 
 // SystemEnergy returns the full-system energy of r using the
@@ -212,10 +224,17 @@ func (e *Engine) Run(ctx context.Context, job Job) (Outcome, error) {
 	if job.Spec.Governor != nil {
 		gov = job.Spec.Governor(&cfg, nonMem)
 	}
+	var rec *telemetry.Recorder
+	if job.Telemetry != nil {
+		rec = telemetry.NewRecorder(*job.Telemetry)
+		rec.NonMemPowerW.Set(nonMem)
+		rec.GammaBound.Set(cfg.Policy.Gamma)
+	}
 	s, err := sim.New(cfg, streams, sim.Options{
 		Governor:     gov,
 		NonMemPower:  nonMem,
 		KeepTimeline: job.Timeline,
+		Telemetry:    rec,
 	})
 	if err != nil {
 		return Outcome{}, err
@@ -224,7 +243,30 @@ func (e *Engine) Run(ctx context.Context, job Job) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	return Outcome{Mix: job.Mix, Policy: job.Spec.Name, NonMem: nonMem, Base: base, Res: res}, nil
+	out := Outcome{Mix: job.Mix, Policy: job.Spec.Name, NonMem: nonMem, Base: base, Res: res}
+	if rec != nil {
+		apps := make([]string, cfg.Cores)
+		for i := range apps {
+			apps[i] = job.Mix.Assignment(i)
+		}
+		freqSeconds := make(map[int]float64, len(res.FreqTime))
+		for f, t := range res.FreqTime {
+			freqSeconds[int(f)] = t.Seconds()
+		}
+		out.Telemetry = rec.Export(telemetry.RunMeta{
+			Mix:          job.Mix.Name,
+			Policy:       job.Spec.Name,
+			Gamma:        cfg.Policy.Gamma,
+			Cores:        cfg.Cores,
+			Channels:     cfg.Channels,
+			CoreApps:     apps,
+			NonMemPowerW: nonMem,
+		}, freqSeconds)
+		if err := rec.SinkErr(); err != nil {
+			return Outcome{}, fmt.Errorf("runner: telemetry sink: %w", err)
+		}
+	}
+	return out, nil
 }
 
 // RunEach executes every job on the worker pool and returns outcomes

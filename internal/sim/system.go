@@ -8,12 +8,15 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"memscale/internal/config"
 	"memscale/internal/cpu"
+	"memscale/internal/dram"
 	"memscale/internal/event"
 	"memscale/internal/memctrl"
 	"memscale/internal/power"
+	"memscale/internal/telemetry"
 	"memscale/internal/trace"
 )
 
@@ -34,6 +37,10 @@ type Profile struct {
 	// carries the PTC/PTCKEL/ATCKEL/POCC-equivalent state fractions
 	// the power model needs.
 	Interval power.Interval
+
+	// Energy is the metered energy of the window, as integrated by the
+	// power meter from Interval.
+	Energy power.Breakdown
 }
 
 // Elapsed returns the window length.
@@ -66,15 +73,10 @@ type PerChannelGovernor interface {
 	ProfileCompletePerChannel(p Profile) []config.FreqMHz
 }
 
-// EpochRecord captures one epoch for timeline figures.
-type EpochRecord struct {
-	Index       int
-	Start, End  config.Time
-	Freq        config.FreqMHz   // frequency chosen for the epoch body (fastest channel)
-	ChannelFreq []config.FreqMHz // per-channel choices (per-channel governors)
-	CoreCPI     []float64        // epoch-local CPI per core
-	ChannelUtil []float64        // epoch-local bus utilization per channel
-}
+// EpochRecord captures one epoch for timeline figures. It is the
+// telemetry layer's epoch snapshot — one type serves the internal
+// timeline, the public API sample, and the JSONL export.
+type EpochRecord = telemetry.EpochSnapshot
 
 // Result summarizes a run.
 type Result struct {
@@ -93,6 +95,10 @@ type Result struct {
 
 	// FreqTime is the time spent at each bus frequency.
 	FreqTime map[config.FreqMHz]config.Time
+
+	// Residency is the run's DRAM state-residency account summed over
+	// ranks; its Total() equals Duration times the rank count.
+	Residency dram.Account
 
 	// Epochs is the per-epoch timeline (only when KeepTimeline).
 	Epochs []EpochRecord
@@ -129,6 +135,11 @@ type Options struct {
 
 	// MaxDuration caps the run length as a safety net (default 2 s).
 	MaxDuration config.Time
+
+	// Telemetry, when non-nil, receives samples, events, and epoch
+	// snapshots from every layer of the system. Purely observational:
+	// the simulated event sequence is identical with or without it.
+	Telemetry *telemetry.Recorder
 }
 
 // System is one fully wired simulated server.
@@ -159,6 +170,10 @@ func New(cfg config.Config, streams []*trace.Stream, opts Options) (*System, err
 	s.MC = memctrl.New(&s.Cfg, s.Q)
 	s.Model = power.NewModel(&s.Cfg)
 	s.Meter = power.NewMeter(s.Model)
+	if opts.Telemetry != nil {
+		s.MC.SetTelemetry(opts.Telemetry)
+		s.Meter.SetTelemetry(opts.Telemetry)
+	}
 	for i, st := range streams {
 		s.Cores = append(s.Cores, cpu.New(i, &s.Cfg, s.Q, s.MC, st))
 	}
@@ -182,12 +197,13 @@ func (s *System) start() {
 	s.lastInstr = make([]float64, len(s.Cores))
 }
 
-// flush closes the power interval at now, meters it, and returns it.
-func (s *System) flush(now config.Time) power.Interval {
+// flush closes the power interval at now, meters it, and returns it
+// alongside its energy breakdown.
+func (s *System) flush(now config.Time) (power.Interval, power.Breakdown) {
 	iv := s.MC.FlushInterval(now)
-	s.Meter.Record(iv)
+	b := s.Meter.Record(iv)
 	s.result.FreqTime[iv.Channels[0].BusFreq] += iv.Duration
-	return iv
+	return iv, b
 }
 
 // window snapshots counter/instruction deltas since the last call and
@@ -200,13 +216,15 @@ func (s *System) window(start, now config.Time, freq config.FreqMHz) Profile {
 		instr[i] = total - s.lastInstr[i]
 		s.lastInstr[i] = total
 	}
+	iv, b := s.flush(now)
 	p := Profile{
 		Start:    start,
 		End:      now,
 		BusFreq:  freq,
 		Counters: cur.Sub(s.lastCounters),
 		Instr:    instr,
-		Interval: s.flush(now),
+		Interval: iv,
+		Energy:   b,
 	}
 	s.lastCounters = cur
 	return p
@@ -279,10 +297,29 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 	s.start()
 	epoch := s.Cfg.Policy.EpochLength
 	profLen := s.Cfg.Policy.ProfilingLength
+	tel := s.opts.Telemetry
+
+	// Optional governor hooks the telemetry decision and slack traces
+	// probe for; governors that lack them simply produce sparser traces.
+	predictor, _ := s.opts.Governor.(interface {
+		PredictedMeanCPI(config.FreqMHz) float64
+	})
+	slacker, _ := s.opts.Governor.(interface{ Slack() []config.Time })
+	var prevSlack []config.Time
+	if tel != nil && slacker != nil {
+		prevSlack = slacker.Slack()
+	}
 
 	for idx := 0; ; idx++ {
 		start := s.Q.Now()
 		freq := s.MC.BusFreq()
+		tel.SetEpoch(idx)
+		var hostStart time.Time
+		if tel != nil {
+			// Host wall clock is observed only under telemetry and never
+			// feeds back into simulated time.
+			hostStart = time.Now()
+		}
 
 		// Profiling phase.
 		profEnd := start + profLen
@@ -309,6 +346,10 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 				s.MC.SetBusFrequency(profEnd, chosen)
 			}
 		}
+		var predicted float64
+		if tel != nil && predictor != nil {
+			predicted = predictor.PredictedMeanCPI(chosen)
+		}
 
 		// Run out the epoch at the chosen frequency.
 		epochEnd := start + epoch
@@ -327,33 +368,31 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 			}
 			s.opts.Governor.EpochEnd(whole)
 		}
-
-		if s.opts.KeepTimeline {
-			rec := EpochRecord{
-				Index:       idx,
-				Start:       start,
-				End:         epochEnd,
-				Freq:        chosen,
-				ChannelFreq: chosenPer,
-				CoreCPI: func() []float64 {
-					out := make([]float64, len(s.Cores))
-					cycles := s.Cfg.TimeToCPUCycles(epochEnd - start)
-					for i := range s.Cores {
-						if n := p.Instr[i] + ep.Instr[i]; n > 0 {
-							out[i] = cycles / n
-						}
-					}
-					return out
-				}(),
-				ChannelUtil: func() []float64 {
-					out := make([]float64, len(ep.Interval.Channels))
-					for i := range ep.Interval.Channels {
-						out[i] = float64(ep.Interval.Channels[i].Busy) / float64(ep.Interval.Duration)
-					}
-					return out
-				}(),
+		if tel != nil && slacker != nil {
+			cur := slacker.Slack()
+			for i := range cur {
+				var prev config.Time
+				if i < len(prevSlack) {
+					prev = prevSlack[i]
+				}
+				tel.Slack(epochEnd, i, (cur[i] - prev).Seconds(), cur[i].Seconds())
 			}
-			s.result.Epochs = append(s.result.Epochs, rec)
+			prevSlack = cur
+		}
+
+		if s.opts.KeepTimeline || tel != nil {
+			rec := s.snapshotEpoch(idx, start, profEnd, epochEnd, chosen, chosenPer, p, ep)
+			if tel != nil {
+				rec.HostNs = time.Since(hostStart).Nanoseconds()
+				tel.ObserveEpochHost(rec.HostNs)
+				if s.opts.Governor != nil {
+					tel.Decision(profEnd, freq, chosen, predicted, rec.MeanCPI())
+				}
+				tel.AddEpoch(rec)
+			}
+			if s.opts.KeepTimeline {
+				s.result.Epochs = append(s.result.Epochs, rec)
+			}
 		}
 
 		if done(epochEnd) || epochEnd >= s.opts.MaxDuration {
@@ -361,6 +400,41 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 		}
 	}
 	return s.finalize(), nil
+}
+
+// snapshotEpoch assembles the per-epoch telemetry record from the two
+// windows of one epoch (profiling phase + epoch body).
+func (s *System) snapshotEpoch(idx int, start, profEnd, epochEnd config.Time,
+	chosen config.FreqMHz, chosenPer []config.FreqMHz, p, ep Profile) EpochRecord {
+	energy := p.Energy
+	energy.Add(ep.Energy)
+	residency := p.Interval.DRAMTotal()
+	residency.Add(ep.Interval.DRAMTotal())
+
+	coreCPI := make([]float64, len(s.Cores))
+	cycles := s.Cfg.TimeToCPUCycles(epochEnd - start)
+	for i := range s.Cores {
+		if n := p.Instr[i] + ep.Instr[i]; n > 0 {
+			coreCPI[i] = cycles / n
+		}
+	}
+	util := make([]float64, len(ep.Interval.Channels))
+	for i := range ep.Interval.Channels {
+		util[i] = float64(ep.Interval.Channels[i].Busy) / float64(ep.Interval.Duration)
+	}
+	return EpochRecord{
+		Index:       idx,
+		Start:       start,
+		End:         epochEnd,
+		Freq:        chosen,
+		ChannelFreq: chosenPer,
+		CoreCPI:     coreCPI,
+		ChannelUtil: util,
+		Energy:      energy.Export(),
+		Residency:   residency,
+		Reads:       p.Counters.Reads + ep.Counters.Reads,
+		Writebacks:  p.Counters.Writebacks + ep.Counters.Writebacks,
+	}
 }
 
 func (s *System) finalize() Result {
@@ -374,6 +448,7 @@ func (s *System) finalize() Result {
 		r.CPI[i] = c.CPI(now)
 	}
 	r.Memory = s.Meter.Total()
+	r.Residency = s.Meter.Residency()
 	r.NonMemPower = s.opts.NonMemPower
 	r.NonMemEnergy = s.opts.NonMemPower * now.Seconds()
 	r.DIMMAvgWatts = s.Meter.AverageDIMMPower()

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sink receives batches of drained events. The recorder calls Emit
+// from the simulation goroutine whenever its ring fills, and once more
+// at export time with the remainder; a sink therefore sees every event
+// exactly once, in order. Implementations need not be concurrency-safe
+// unless one sink instance is shared across runs.
+type Sink interface {
+	Emit(events []Event) error
+}
+
+// MemorySink retains every event in memory — the test sink.
+type MemorySink struct {
+	Events []Event
+}
+
+// Emit implements Sink.
+func (m *MemorySink) Emit(events []Event) error {
+	m.Events = append(m.Events, events...)
+	return nil
+}
+
+// CSVSink streams events as CSV rows. The header is written before the
+// first event.
+type CSVSink struct {
+	W      io.Writer
+	wroteH bool
+}
+
+// EventCSVHeader is the column layout of CSVSink rows.
+const EventCSVHeader = "kind,t_ps,epoch,channel,rank,core,a,b,c,f1,f2"
+
+// Emit implements Sink.
+func (s *CSVSink) Emit(events []Event) error {
+	if !s.wroteH {
+		if _, err := fmt.Fprintln(s.W, EventCSVHeader); err != nil {
+			return err
+		}
+		s.wroteH = true
+	}
+	for _, ev := range events {
+		_, err := fmt.Fprintf(s.W, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%g,%g\n",
+			ev.Kind, int64(ev.Time), ev.Epoch, ev.Channel, ev.Rank, ev.Core,
+			ev.A, ev.B, ev.C, ev.F1, ev.F2)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONLSink streams events as one JSON object per line.
+type JSONLSink struct {
+	W io.Writer
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(events []Event) error {
+	enc := json.NewEncoder(s.W)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -30,10 +30,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"memscale/internal/config"
 	"memscale/internal/policies"
 	"memscale/internal/runner"
+	"memscale/internal/telemetry"
 	"memscale/internal/workload"
 )
 
@@ -81,6 +83,31 @@ type RunConfig struct {
 
 	// Timeline retains per-epoch frequency/CPI records.
 	Timeline bool
+
+	// Telemetry, when non-nil, instruments the managed run with the
+	// telemetry subsystem and attaches the export to the summary.
+	Telemetry *TelemetryConfig
+}
+
+// TelemetryConfig opts a run into telemetry collection. The zero value
+// enables collectors and per-epoch snapshots only; Events additionally
+// captures the structured event stream.
+type TelemetryConfig struct {
+	// Events enables the event stream (frequency transitions, powerdown
+	// entry/exit, refreshes, slack updates, governor decisions).
+	Events bool
+
+	// EventRingSize bounds the retained event buffer (default 4096;
+	// oldest events are dropped beyond it, with the drop count
+	// reported on the export).
+	EventRingSize int
+}
+
+func (tc *TelemetryConfig) options() *telemetry.Options {
+	if tc == nil {
+		return nil
+	}
+	return &telemetry.Options{Events: tc.Events, RingSize: tc.EventRingSize}
 }
 
 // validate rejects degenerate scaling values up front with
@@ -142,23 +169,30 @@ func (rc RunConfig) job() (runner.Job, error) {
 		return runner.Job{}, err
 	}
 	return runner.Job{
-		Mix:      mix,
-		Spec:     spec,
-		Epochs:   rc.Epochs,
-		Gamma:    rc.Gamma,
-		Cores:    rc.Cores,
-		Channels: rc.Channels,
-		Timeline: rc.Timeline,
+		Mix:       mix,
+		Spec:      spec,
+		Epochs:    rc.Epochs,
+		Gamma:     rc.Gamma,
+		Cores:     rc.Cores,
+		Channels:  rc.Channels,
+		Timeline:  rc.Timeline,
+		Telemetry: rc.Telemetry.options(),
 	}, nil
 }
 
-// EpochSample is one OS quantum of a timeline run.
-type EpochSample struct {
-	StartMs, EndMs float64
-	BusFreqMHz     int
-	CoreCPI        []float64
-	ChannelUtil    []float64
-}
+// EpochSample is one OS quantum of a timeline run: the telemetry
+// layer's per-epoch snapshot, exposed directly so the timeline, the
+// telemetry export, and memscale-report all read the same record. Use
+// the StartMs/EndMs/BusFreqMHz methods for the derived views the old
+// fields of the same names provided.
+type EpochSample = telemetry.EpochSnapshot
+
+// TelemetryExport is one run's full telemetry: totals, collector
+// snapshots, per-epoch samples, and retained events.
+type TelemetryExport = telemetry.RunExport
+
+// TelemetryRollup aggregates exports across runs.
+type TelemetryRollup = telemetry.Rollup
 
 // RunSummary reports one run paired against its baseline.
 type RunSummary struct {
@@ -185,6 +219,9 @@ type RunSummary struct {
 
 	// Timeline, when requested, holds the per-epoch records.
 	Timeline []EpochSample
+
+	// Telemetry, when the run requested it, holds the full export.
+	Telemetry *TelemetryExport
 }
 
 // Mixes returns the Table 1 workload names.
@@ -247,16 +284,42 @@ func summarize(out runner.Outcome) RunSummary {
 	for f, t := range res.FreqTime {
 		sum.FreqSeconds[int(f)] = t.Seconds()
 	}
-	for _, ep := range res.Epochs {
-		sum.Timeline = append(sum.Timeline, EpochSample{
-			StartMs:     ep.Start.Milliseconds(),
-			EndMs:       ep.End.Milliseconds(),
-			BusFreqMHz:  int(ep.Freq),
-			CoreCPI:     ep.CoreCPI,
-			ChannelUtil: ep.ChannelUtil,
-		})
-	}
+	// The simulator's epoch records are telemetry snapshots already;
+	// expose them as-is.
+	sum.Timeline = append(sum.Timeline, res.Epochs...)
+	sum.Telemetry = out.Telemetry
 	return sum
+}
+
+// WriteTelemetry streams the summaries' telemetry exports to w in the
+// JSONL interchange format memscale-report reads. Summaries without
+// telemetry are skipped.
+func WriteTelemetry(w io.Writer, sums ...RunSummary) error {
+	exports := make([]*TelemetryExport, 0, len(sums))
+	for _, s := range sums {
+		if s.Telemetry != nil {
+			exports = append(exports, s.Telemetry)
+		}
+	}
+	return telemetry.WriteJSONL(w, exports...)
+}
+
+// ReadTelemetry parses a JSONL telemetry stream written by
+// WriteTelemetry (or by cmd/memscale-sim's -telemetry-out flag).
+func ReadTelemetry(r io.Reader) ([]*TelemetryExport, error) {
+	return telemetry.ReadJSONL(r)
+}
+
+// AggregateTelemetry merges the summaries' telemetry exports into one
+// rollup: summed totals and counters, merged histograms. Aggregation
+// is race-free regardless of how the runs executed: every run owns a
+// private recorder, and the rollup is built here, after completion.
+func AggregateTelemetry(sums ...RunSummary) *TelemetryRollup {
+	ro := telemetry.NewRollup()
+	for _, s := range sums {
+		ro.Add(s.Telemetry)
+	}
+	return ro
 }
 
 // String renders a one-line summary.

@@ -80,8 +80,8 @@ func TestRunTimeline(t *testing.T) {
 	if len(ep.ChannelUtil) != 2 {
 		t.Errorf("channel entries = %d, want 2", len(ep.ChannelUtil))
 	}
-	if ep.EndMs != 5 {
-		t.Errorf("first epoch ends at %g ms", ep.EndMs)
+	if ep.EndMs() != 5 {
+		t.Errorf("first epoch ends at %g ms", ep.EndMs())
 	}
 }
 

@@ -1,0 +1,46 @@
+package memscale
+
+import (
+	"io"
+
+	"memscale/internal/telemetry"
+)
+
+// Figure-ready CSV views over telemetry exports, shared by
+// cmd/memscale-report and library callers. Each writes a header plus
+// one row per epoch/bucket/event/run; nil exports are skipped.
+
+// WriteResidencyCSV writes the figure7-style per-epoch timeline:
+// frequency, mean CPI, mean utilization, and DRAM state-residency
+// fractions per epoch.
+func WriteResidencyCSV(w io.Writer, exports []*TelemetryExport) error {
+	return telemetry.WriteResidencyCSV(w, exports)
+}
+
+// WriteLatencyCSV writes the read-latency histogram buckets per run.
+func WriteLatencyCSV(w io.Writer, exports []*TelemetryExport) error {
+	return telemetry.WriteLatencyCSV(w, exports)
+}
+
+// WriteDecisionsCSV writes the governor decision trace
+// (predicted-vs-actual CPI per epoch). Runs exported without events
+// contribute no rows.
+func WriteDecisionsCSV(w io.Writer, exports []*TelemetryExport) error {
+	return telemetry.WriteDecisionsCSV(w, exports)
+}
+
+// WriteFreqCSV writes per-run frequency residency.
+func WriteFreqCSV(w io.Writer, exports []*TelemetryExport) error {
+	return telemetry.WriteFreqCSV(w, exports)
+}
+
+// WriteEventsCSV writes the raw retained event trace per run.
+func WriteEventsCSV(w io.Writer, exports []*TelemetryExport) error {
+	return telemetry.WriteEventsCSV(w, exports)
+}
+
+// WriteTelemetrySummary writes the human-readable digest: one block
+// per run plus a cross-run aggregate when several runs are loaded.
+func WriteTelemetrySummary(w io.Writer, exports []*TelemetryExport) error {
+	return telemetry.WriteSummary(w, exports)
+}

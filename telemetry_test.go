@@ -1,0 +1,156 @@
+package memscale
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"runtime"
+	"testing"
+)
+
+// telemetryRC is the small machine shape the telemetry tests run on.
+func telemetryRC(tc *TelemetryConfig) RunConfig {
+	return RunConfig{
+		Mix: "MID1", Policy: "MemScale",
+		Epochs: 2, Cores: 4, Channels: 2,
+		Telemetry: tc,
+	}
+}
+
+// TestTelemetryReconciliation is the acceptance check: the exported
+// telemetry's energy and residency totals must reconcile with the
+// RunSummary the same run reports, and the per-epoch snapshots must
+// partition those totals.
+func TestTelemetryReconciliation(t *testing.T) {
+	sum, err := Run(telemetryRC(&TelemetryConfig{Events: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := sum.Telemetry
+	if exp == nil {
+		t.Fatal("run requested telemetry but summary carries none")
+	}
+
+	// Totals: the recorder accumulates the very intervals the power
+	// meter integrates, in the same order, so equality is exact.
+	if got := exp.Energy.Memory(); got != sum.MemoryEnergyJ {
+		t.Errorf("telemetry memory energy = %g J, summary = %g J", got, sum.MemoryEnergyJ)
+	}
+	if exp.DurationSeconds != sum.DurationSeconds {
+		t.Errorf("telemetry duration = %g s, summary = %g s", exp.DurationSeconds, sum.DurationSeconds)
+	}
+	for f, s := range sum.FreqSeconds {
+		if exp.FreqSeconds[f] != s {
+			t.Errorf("freq %d MHz: telemetry %g s, summary %g s", f, exp.FreqSeconds[f], s)
+		}
+	}
+
+	// Per-epoch energies partition the run total (float sums regrouped
+	// per epoch: equal to within rounding).
+	if len(exp.Epochs) != 2 {
+		t.Fatalf("exported %d epochs, want 2", len(exp.Epochs))
+	}
+	var epochEnergy float64
+	var epochResidency int64
+	for _, ep := range exp.Epochs {
+		epochEnergy += ep.Energy.Memory()
+		epochResidency += int64(ep.Residency.Total())
+	}
+	if diff := math.Abs(epochEnergy - sum.MemoryEnergyJ); diff > 1e-12*math.Abs(sum.MemoryEnergyJ) {
+		t.Errorf("per-epoch energy sums to %g J, run total %g J", epochEnergy, sum.MemoryEnergyJ)
+	}
+	// Residency is integer picoseconds: the partition is exact, and the
+	// total conserves rank-time (duration x ranks), relocks included.
+	if got := int64(exp.Residency.Total()); epochResidency != got {
+		t.Errorf("per-epoch residency sums to %d ps, run total %d ps", epochResidency, got)
+	}
+
+	// The export round-trips through the JSONL interchange format
+	// losslessly.
+	var buf bytes.Buffer
+	if err := WriteTelemetry(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTelemetry(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("round trip returned %d runs, want 1", len(back))
+	}
+	if back[0].Energy != exp.Energy || back[0].Residency != exp.Residency {
+		t.Error("energy/residency totals changed across the JSONL round trip")
+	}
+	if len(back[0].Epochs) != len(exp.Epochs) || len(back[0].Events) != len(exp.Events) {
+		t.Errorf("round trip kept %d epochs/%d events, want %d/%d",
+			len(back[0].Epochs), len(back[0].Events), len(exp.Epochs), len(exp.Events))
+	}
+}
+
+// TestTelemetryZeroInterference asserts that instrumenting a run does
+// not perturb it: the simulated outcome is bit-identical with
+// telemetry on and off.
+func TestTelemetryZeroInterference(t *testing.T) {
+	plain, err := Run(telemetryRC(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, err := Run(telemetryRC(&TelemetryConfig{Events: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Telemetry != nil {
+		t.Error("telemetry exported without being requested")
+	}
+	if plain.MemoryEnergyJ != instrumented.MemoryEnergyJ ||
+		plain.SystemEnergyJ != instrumented.SystemEnergyJ ||
+		plain.AvgCPIIncrease != instrumented.AvgCPIIncrease ||
+		plain.DurationSeconds != instrumented.DurationSeconds {
+		t.Errorf("telemetry perturbed the simulation: %+v vs %+v", plain, instrumented)
+	}
+}
+
+// TestTelemetrySweepAggregation runs a telemetry-enabled grid on a
+// full worker pool (the -race CI job turns this into the data-race
+// smoke test) and checks the race-free cross-run rollup.
+func TestTelemetrySweepAggregation(t *testing.T) {
+	tc := &TelemetryConfig{Events: true}
+	grid := Grid(
+		RunConfig{Epochs: 1, Cores: 4, Channels: 2, Telemetry: tc},
+		[]string{"MID1", "MEM1"},
+		[]string{"MemScale", "Static"},
+	)
+	sums, err := Sweep(context.Background(), SweepConfig{
+		Runs:    grid,
+		Workers: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ro := AggregateTelemetry(sums...)
+	if ro.Runs != len(grid) {
+		t.Fatalf("rollup has %d runs, want %d", ro.Runs, len(grid))
+	}
+	var duration, energy float64
+	for _, s := range sums {
+		if s.Telemetry == nil {
+			t.Fatalf("%s/%s: no telemetry export", s.Mix, s.Policy)
+		}
+		if s.Telemetry.Meta.Mix != s.Mix || s.Telemetry.Meta.Policy != s.Policy {
+			t.Errorf("export meta %s/%s under summary %s/%s",
+				s.Telemetry.Meta.Mix, s.Telemetry.Meta.Policy, s.Mix, s.Policy)
+		}
+		duration += s.DurationSeconds
+		energy += s.MemoryEnergyJ
+	}
+	if ro.DurationSeconds != duration {
+		t.Errorf("rollup duration = %g s, want %g s", ro.DurationSeconds, duration)
+	}
+	if diff := math.Abs(ro.Energy.Memory() - energy); diff > 1e-12*energy {
+		t.Errorf("rollup energy = %g J, want %g J", ro.Energy.Memory(), energy)
+	}
+	if h := ro.Histograms["read_latency"]; h == nil || h.Count == 0 {
+		t.Error("rollup lost the merged read-latency histogram")
+	}
+}

@@ -6,6 +6,13 @@
 //
 //	memscale-sim -mix MID1 [-policy MemScale] [-epochs 10]
 //	             [-gamma 0.10] [-cores 16] [-channels 4] [-timeline]
+//	             [-fault-seed N -fault-storm-rate P -fault-relock-rate P
+//	              -fault-corrupt-rate P -fault-thermal-rate P
+//	              -fault-thermal-ceiling MHZ -fault-abort-rate P]
+//
+// The -fault-* flags enable the deterministic fault-injection plane;
+// the same seed and rates reproduce the same disturbance schedule,
+// fault counts, and energy totals.
 //
 // Ctrl-C cancels the simulation promptly.
 package main
@@ -32,6 +39,14 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the per-epoch frequency/CPI timeline")
 	telemetryOut := flag.String("telemetry-out", "",
 		"collect full telemetry (with events) and write it as JSONL to this file; read it with memscale-report")
+
+	faultSeed := flag.Uint64("fault-seed", 0, "seed of the deterministic fault-injection schedule")
+	stormRate := flag.Float64("fault-storm-rate", 0, "per-epoch probability of a refresh storm (retention emergency)")
+	relockRate := flag.Float64("fault-relock-rate", 0, "per-attempt probability a PLL/DLL relock fails and is retried")
+	corruptRate := flag.Float64("fault-corrupt-rate", 0, "per-epoch probability the profiled counters are corrupted")
+	thermalRate := flag.Float64("fault-thermal-rate", 0, "per-epoch probability a thermal-emergency window opens")
+	thermalCeil := flag.Int("fault-thermal-ceiling", 0, "frequency ceiling (MHz) during thermal emergencies (default 400)")
+	abortRate := flag.Float64("fault-abort-rate", 0, "per-attempt probability of a retryable transient run abort")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -48,6 +63,17 @@ func main() {
 	}
 	if *telemetryOut != "" {
 		rc.Telemetry = &memscale.TelemetryConfig{Events: true}
+	}
+	if *stormRate > 0 || *relockRate > 0 || *corruptRate > 0 || *thermalRate > 0 || *abortRate > 0 {
+		rc.Faults = &memscale.FaultConfig{
+			Seed:               *faultSeed,
+			RefreshStormRate:   *stormRate,
+			RelockFailRate:     *relockRate,
+			CounterCorruptRate: *corruptRate,
+			ThermalRate:        *thermalRate,
+			ThermalCeilingMHz:  *thermalCeil,
+			TransientAbortRate: *abortRate,
+		}
 	}
 	sum, err := memscale.RunContext(ctx, rc)
 	if err != nil {
@@ -72,6 +98,19 @@ func main() {
 	fmt.Println(sum)
 	fmt.Printf("simulated %.0f ms; memory energy %.3f J; system energy %.3f J\n",
 		sum.DurationSeconds*1000, sum.MemoryEnergyJ, sum.SystemEnergyJ)
+
+	if rc.Faults != nil {
+		fmt.Printf("fault injection: %d degraded epochs, %d attempts\n",
+			sum.DegradedEpochs, sum.Attempts)
+		names := make([]string, 0, len(sum.FaultCounts))
+		for name := range sum.FaultCounts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-20s %d\n", name, sum.FaultCounts[name])
+		}
+	}
 
 	freqs := make([]int, 0, len(sum.FreqSeconds))
 	for f := range sum.FreqSeconds {

@@ -38,7 +38,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		s := trace.MustNewStream(p, mapper, *seed)
+		s, err := trace.NewStream(p, mapper, *seed)
+		if err != nil {
+			fail(err)
+		}
 		if *dump > 0 {
 			dumpAccesses(s, mapper, *dump)
 			return

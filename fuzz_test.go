@@ -1,0 +1,60 @@
+package memscale
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzRunConfigValidate drives validate/withDefaults/job with arbitrary
+// scaling and fault-plane values. The contract under test: validation
+// never panics, never lets NaN/Inf or out-of-range values through, and
+// anything it accepts resolves into a runnable job without error.
+func FuzzRunConfigValidate(f *testing.F) {
+	f.Add(0, 0.0, 0, 0, uint64(0), 0.0, 0.0, 0.0, 0.0, 0.0, 0, int64(0), 0, 0)
+	f.Add(10, 0.10, 16, 4, uint64(7), 0.1, 0.2, 0.3, 0.4, 0.5, 400, int64(100), 3, 2)
+	f.Add(-1, math.NaN(), -5, 99, uint64(1), 2.0, -1.0, math.Inf(1), 0.5, 1.5, 123, int64(-50), -1, -1)
+	f.Add(1, 0.9999, 1, 1, ^uint64(0), 1.0, 1.0, 1.0, 1.0, 1.0, 200, int64(1e9), 100, 100)
+
+	f.Fuzz(func(t *testing.T, epochs int, gamma float64, cores, channels int,
+		seed uint64, storm, relock, corrupt, thermal, abort float64,
+		ceiling int, backoffNs int64, retries, runRetries int) {
+
+		rc := RunConfig{
+			Mix: "MID1", Policy: "MemScale",
+			Epochs: epochs, Gamma: gamma, Cores: cores, Channels: channels,
+			Faults: &FaultConfig{
+				Seed:               seed,
+				RefreshStormRate:   storm,
+				RelockFailRate:     relock,
+				RelockMaxRetries:   retries,
+				RelockBackoff:      time.Duration(backoffNs),
+				CounterCorruptRate: corrupt,
+				ThermalRate:        thermal,
+				ThermalCeilingMHz:  ceiling,
+				TransientAbortRate: abort,
+				MaxRunRetries:      runRetries,
+			},
+		}
+		err := rc.validate()
+		if err != nil {
+			return
+		}
+		// Accepted configurations must be sane and resolvable.
+		if math.IsNaN(gamma) || gamma < 0 || gamma >= 1 {
+			t.Fatalf("validate accepted Gamma = %g", gamma)
+		}
+		for _, r := range []float64{storm, relock, corrupt, thermal, abort} {
+			if math.IsNaN(r) || r < 0 || r > 1 {
+				t.Fatalf("validate accepted fault rate %g", r)
+			}
+		}
+		d := rc.withDefaults()
+		if d.Epochs <= 0 || d.Gamma <= 0 || d.Policy == "" {
+			t.Fatalf("withDefaults left zero fields: %+v", d)
+		}
+		if _, err := d.job(); err != nil {
+			t.Fatalf("validated config failed to resolve: %v", err)
+		}
+	})
+}

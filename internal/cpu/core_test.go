@@ -17,7 +17,8 @@ type rig struct {
 	cores []*Core
 }
 
-func newRig(profile trace.Profile, n int) *rig {
+func newRig(tb testing.TB, profile trace.Profile, n int) *rig {
+	tb.Helper()
 	cfg := config.Default()
 	cfg.Cores = n
 	q := &event.Queue{}
@@ -26,7 +27,10 @@ func newRig(profile trace.Profile, n int) *rig {
 	mapper := config.NewAddressMapper(&cfg)
 	r := &rig{cfg: cfg, q: q, mc: mc}
 	for i := 0; i < n; i++ {
-		s := trace.MustNewStream(profile, mapper, trace.Seed("cpu-test", i))
+		s, err := trace.NewStream(profile, mapper, trace.Seed("cpu-test", i))
+		if err != nil {
+			tb.Fatalf("NewStream: %v", err)
+		}
 		c := New(i, &cfg, q, mc, s)
 		c.Start(0)
 		r.cores = append(r.cores, c)
@@ -43,7 +47,7 @@ func prof(baseCPI, mpki, wpki float64) trace.Profile {
 func TestCPIMatchesAnalyticModel(t *testing.T) {
 	// Single core, no contention: CPI should be
 	// BaseCPI + alpha * memLatency * Fcpu.
-	r := newRig(prof(1.0, 5.0, 0), 1)
+	r := newRig(t, prof(1.0, 5.0, 0), 1)
 	horizon := 20 * config.Millisecond
 	r.q.RunUntil(horizon)
 	core := r.cores[0]
@@ -76,7 +80,7 @@ func TestCPIMatchesAnalyticModel(t *testing.T) {
 func TestInstructionInterpolation(t *testing.T) {
 	// With a very low miss rate the core is almost always computing;
 	// sampled instruction counts must advance smoothly.
-	r := newRig(prof(2.0, 0.01, 0), 1)
+	r := newRig(t, prof(2.0, 0.01, 0), 1)
 	core := r.cores[0]
 	var prev float64
 	for i := 1; i <= 10; i++ {
@@ -96,7 +100,7 @@ func TestInstructionInterpolation(t *testing.T) {
 }
 
 func TestWritebacksIssued(t *testing.T) {
-	r := newRig(prof(1.0, 10.0, 5.0), 1)
+	r := newRig(t, prof(1.0, 10.0, 5.0), 1)
 	r.q.RunUntil(5 * config.Millisecond)
 	core := r.cores[0]
 	if core.Writebacks() == 0 {
@@ -113,8 +117,8 @@ func TestWritebacksIssued(t *testing.T) {
 }
 
 func TestMultiCoreContentionRaisesCPI(t *testing.T) {
-	solo := newRig(prof(0.8, 20.0, 0), 1)
-	loaded := newRig(prof(0.8, 20.0, 0), 16)
+	solo := newRig(t, prof(0.8, 20.0, 0), 1)
+	loaded := newRig(t, prof(0.8, 20.0, 0), 16)
 	horizon := 10 * config.Millisecond
 	solo.q.RunUntil(horizon)
 	loaded.q.RunUntil(horizon)
@@ -131,7 +135,7 @@ func TestMultiCoreContentionRaisesCPI(t *testing.T) {
 }
 
 func TestTLMMatchesCoreReads(t *testing.T) {
-	r := newRig(prof(1.0, 2.0, 0), 4)
+	r := newRig(t, prof(1.0, 2.0, 0), 4)
 	r.q.RunUntil(5 * config.Millisecond)
 	ctr := r.mc.Counters()
 	for i, c := range r.cores {
@@ -144,7 +148,7 @@ func TestTLMMatchesCoreReads(t *testing.T) {
 }
 
 func TestDoubleStartPanics(t *testing.T) {
-	r := newRig(prof(1.0, 1.0, 0), 1)
+	r := newRig(t, prof(1.0, 1.0, 0), 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("second Start must panic")

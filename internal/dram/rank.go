@@ -304,8 +304,15 @@ func (r *Rank) PrechargeDone(now config.Time, bank int) {
 func (r *Rank) AccountTermination(dur config.Time) { r.acct.TermBurst += dur }
 
 // SetRefreshPending marks that a refresh is due; the controller stops
-// dispatching to the rank until the refresh completes.
-func (r *Rank) SetRefreshPending() { r.refreshPending = true }
+// dispatching to the rank until the refresh completes. It reports
+// whether the call newly marked the rank — false means an earlier
+// obligation is still outstanding and this one is absorbed into it,
+// which is how back-to-back retention-emergency rounds coalesce.
+func (r *Rank) SetRefreshPending() (newly bool) {
+	newly = !r.refreshPending
+	r.refreshPending = true
+	return newly
+}
 
 // RefreshBlocked reports whether dispatch to this rank must wait for a
 // refresh to be issued and completed.
@@ -319,6 +326,12 @@ func (r *Rank) TryStartRefresh(now config.Time) (until config.Time, ok bool) {
 		panic("dram: TryStartRefresh without a pending refresh")
 	}
 	if r.inService > 0 {
+		return 0, false
+	}
+	if r.refreshing {
+		// A refresh obligation arrived while one is running (a
+		// retention-emergency round landing mid-refresh); it starts
+		// when the running one completes.
 		return 0, false
 	}
 	start := now

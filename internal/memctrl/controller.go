@@ -448,6 +448,9 @@ func (c *Controller) refreshKick(now config.Time, chIdx, rankIdx int) {
 	}
 	c.q.Schedule(until, func(at config.Time) {
 		rank.RefreshDone(at)
+		// A round that became pending mid-refresh starts now, before
+		// any dispatch or powerdown decision.
+		c.refreshKick(at, chIdx, rankIdx)
 		c.kickRank(at, chIdx, rankIdx)
 		c.maybePowerdown(at, chIdx, rankIdx)
 	})
@@ -500,9 +503,18 @@ func (c *Controller) RelockPenalty(f config.FreqMHz) config.Time {
 // the new frequency becomes active. Switching to the current frequency
 // is a no-op.
 func (c *Controller) SetBusFrequency(now config.Time, f config.FreqMHz) config.Time {
+	return c.SetBusFrequencyStalled(now, f, 0)
+}
+
+// SetBusFrequencyStalled is SetBusFrequency with an extra halt added
+// to every channel's relock window — the fault plane's model of
+// PLL/DLL relock attempts that fail and are retried with backoff
+// before the lock finally takes. The frequency still lands; the
+// channels just stay dark longer.
+func (c *Controller) SetBusFrequencyStalled(now config.Time, f config.FreqMHz, extra config.Time) config.Time {
 	applied := now
 	for ch := range c.channels {
-		if at := c.SetChannelFrequency(now, ch, f); at > applied {
+		if at := c.setChannelFrequency(now, ch, f, extra); at > applied {
 			applied = at
 		}
 	}
@@ -513,8 +525,15 @@ func (c *Controller) SetBusFrequency(now config.Time, f config.FreqMHz) config.T
 // Section 6 future-work mechanism). Requirements are as for
 // SetBusFrequency. Returns when the channel resumes.
 func (c *Controller) SetChannelFrequency(now config.Time, chIdx int, f config.FreqMHz) config.Time {
+	return c.setChannelFrequency(now, chIdx, f, 0)
+}
+
+func (c *Controller) setChannelFrequency(now config.Time, chIdx int, f config.FreqMHz, extra config.Time) config.Time {
 	if !config.ValidBusFrequency(f) {
 		panic(fmt.Sprintf("memctrl: invalid bus frequency %v", f))
+	}
+	if extra < 0 {
+		panic(fmt.Sprintf("memctrl: negative relock stall %v", extra))
 	}
 	ch := c.channels[chIdx]
 	if f == ch.timing.BusFreq {
@@ -526,10 +545,11 @@ func (c *Controller) SetChannelFrequency(now config.Time, chIdx int, f config.Fr
 	if c.flushedAt != now {
 		panic(fmt.Sprintf("memctrl: frequency change at %v without flush (last flush %v)", now, c.flushedAt))
 	}
+	halt := c.RelockPenalty(f) + extra
 	ch.relocking = true
-	ch.relockUntil = now + c.RelockPenalty(f)
+	ch.relockUntil = now + halt
 	if c.tel != nil {
-		c.tel.FreqTransition(now, chIdx, ch.timing.BusFreq, f, c.RelockPenalty(f))
+		c.tel.FreqTransition(now, chIdx, ch.timing.BusFreq, f, halt)
 	}
 	c.q.Schedule(ch.relockUntil, func(config.Time) {
 		ch.timing = dram.Resolve(c.cfg.Timing, f, c.devFreqFor(f))
@@ -546,6 +566,51 @@ func (c *Controller) SetChannelFrequency(now config.Time, chIdx int, f config.Fr
 		})
 	})
 	return ch.relockUntil
+}
+
+// StallChannels halts dispatch on every channel until now+stall
+// without changing any operating point — the fault plane's abandoned
+// relock, where every bounded retry failed and the old frequency
+// stays. Queued requests wait out the stall and resume unchanged.
+// Channels must not already be relocking.
+func (c *Controller) StallChannels(now config.Time, stall config.Time) {
+	if stall <= 0 {
+		return
+	}
+	for chIdx, ch := range c.channels {
+		if ch.relocking {
+			panic(fmt.Sprintf("memctrl: channel %d stall while already relocking", chIdx))
+		}
+		chIdx := chIdx
+		ch := ch
+		ch.relocking = true
+		ch.relockUntil = now + stall
+		c.q.Schedule(ch.relockUntil, func(config.Time) {
+			ch.relocking = false
+			c.q.After(0, func(at config.Time) {
+				for rankIdx := range c.ranks[chIdx] {
+					c.kickRank(at, chIdx, rankIdx)
+				}
+				c.tryGrantBus(at, chIdx)
+			})
+		})
+	}
+}
+
+// ForceRefresh models a retention emergency: every rank immediately
+// owes an all-bank refresh on top of its tREFI schedule. It returns
+// how many ranks were newly marked — ranks that already owed a refresh
+// absorb the emergency into the outstanding obligation.
+func (c *Controller) ForceRefresh(now config.Time) (marked int) {
+	for chIdx := range c.ranks {
+		for rankIdx, rank := range c.ranks[chIdx] {
+			if rank.SetRefreshPending() {
+				marked++
+			}
+			c.refreshKick(now, chIdx, rankIdx)
+		}
+	}
+	return marked
 }
 
 // updateMCClock re-derives the MC clock from the fastest channel.

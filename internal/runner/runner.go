@@ -16,15 +16,44 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"memscale/internal/config"
+	"memscale/internal/faults"
 	"memscale/internal/policies"
 	"memscale/internal/sim"
 	"memscale/internal/stats"
 	"memscale/internal/telemetry"
 	"memscale/internal/workload"
 )
+
+// Sentinel errors, matched with errors.Is.
+var (
+	// ErrRunPanicked marks a job whose simulation panicked. The worker
+	// recovered, so one poisoned job never takes down the batch; the
+	// concrete error is a *PanicError carrying the value and stack.
+	ErrRunPanicked = errors.New("run panicked")
+
+	// ErrJobTimeout marks a job that exceeded its watchdog deadline
+	// (Job.Timeout or Options.JobTimeout) while the surrounding batch
+	// was still live.
+	ErrJobTimeout = errors.New("job deadline exceeded")
+)
+
+// PanicError is the error a recovered job panic is reported as. It
+// unwraps to ErrRunPanicked.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // the panicking goroutine's stack
+}
+
+// Error implements error.
+func (p *PanicError) Error() string { return fmt.Sprintf("runner: run panicked: %v", p.Value) }
+
+// Unwrap lets errors.Is(err, ErrRunPanicked) match.
+func (p *PanicError) Unwrap() error { return ErrRunPanicked }
 
 // Job is one paired simulation: a (mix, policy) pair run against the
 // memoized unmanaged baseline of the same configuration.
@@ -55,6 +84,21 @@ type Job struct {
 	// baseline run is never instrumented: it is memoized and shared
 	// across jobs.
 	Telemetry *telemetry.Options
+
+	// Faults, when non-nil, injects the deterministic disturbance
+	// schedule into the managed run. The baseline run is never
+	// faulted: it is memoized, shared across jobs, and represents the
+	// pristine reference the paired metrics compare against. Attempts
+	// aborted by an injected transient fault are retried automatically
+	// (up to the config's MaxRunRetries) with the identical hardware
+	// fault schedule.
+	Faults *faults.Config
+
+	// Timeout, when positive, is this job's watchdog deadline in host
+	// wall-clock time; zero falls back to Options.JobTimeout. A job
+	// that overruns fails with ErrJobTimeout without disturbing the
+	// rest of the batch.
+	Timeout time.Duration
 }
 
 // Outcome is one managed run paired with its baseline.
@@ -68,6 +112,10 @@ type Outcome struct {
 	// Telemetry is the managed run's export when the job requested it,
 	// nil otherwise.
 	Telemetry *telemetry.RunExport
+
+	// Attempts is how many times the managed run executed: 1 plus the
+	// retries consumed by injected transient faults.
+	Attempts int
 }
 
 // SystemEnergy returns the full-system energy of r using the
@@ -152,6 +200,10 @@ type Options struct {
 	// engines; nil creates a private cache.
 	Cache *BaselineCache
 
+	// JobTimeout, when positive, is the default per-job watchdog
+	// deadline (host wall-clock); Job.Timeout overrides it per job.
+	JobTimeout time.Duration
+
 	// OnResult, when non-nil, is invoked after every finished batch
 	// job (successful or not).
 	OnResult func(Progress)
@@ -160,9 +212,10 @@ type Options struct {
 // Engine executes jobs on a worker pool with shared baseline
 // memoization. An Engine is safe for concurrent use.
 type Engine struct {
-	workers  int
-	cache    *BaselineCache
-	onResult func(Progress)
+	workers    int
+	cache      *BaselineCache
+	jobTimeout time.Duration
+	onResult   func(Progress)
 }
 
 // New builds an engine.
@@ -175,7 +228,7 @@ func New(opts Options) *Engine {
 	if cache == nil {
 		cache = NewBaselineCache()
 	}
-	return &Engine{workers: w, cache: cache, onResult: opts.OnResult}
+	return &Engine{workers: w, cache: cache, jobTimeout: opts.JobTimeout, onResult: opts.OnResult}
 }
 
 // Workers returns the engine's concurrency bound.
@@ -185,13 +238,30 @@ func (e *Engine) Workers() int { return e.workers }
 func (e *Engine) Cache() *BaselineCache { return e.cache }
 
 // Run executes one job: the baseline (through the cache) and the
-// managed run, paired into an Outcome.
-func (e *Engine) Run(ctx context.Context, job Job) (Outcome, error) {
+// managed run, paired into an Outcome. The whole call is panic
+// isolated — a panicking simulation (or Mutate hook) surfaces as a
+// *PanicError instead of unwinding the caller — and attempts killed
+// by an injected transient fault are retried with the same hardware
+// fault schedule, up to the fault config's retry budget.
+func (e *Engine) Run(ctx context.Context, job Job) (out Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = Outcome{}, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+
 	if err := ctx.Err(); err != nil {
 		return Outcome{}, err
 	}
 	if job.Epochs <= 0 {
 		return Outcome{}, fmt.Errorf("runner: job epochs must be positive, got %d", job.Epochs)
+	}
+	retries := 0
+	if job.Faults != nil {
+		if err := job.Faults.Validate(); err != nil {
+			return Outcome{}, fmt.Errorf("runner: %w", err)
+		}
+		retries = job.Faults.WithDefaults().MaxRunRetries
 	}
 
 	cfg := config.Default()
@@ -216,6 +286,48 @@ func (e *Engine) Run(ctx context.Context, job Job) (Outcome, error) {
 	if job.Spec.Configure != nil {
 		job.Spec.Configure(&cfg)
 	}
+
+	var aborts uint64
+	for attempt := 0; ; attempt++ {
+		out, err := e.runAttempt(ctx, job, cfg, nonMem, attempt)
+		if err == nil {
+			out.Mix, out.Policy = job.Mix, job.Spec.Name
+			out.NonMem, out.Base = nonMem, base
+			out.Attempts = attempt + 1
+			// Aborted attempts discarded their partial state; fold the
+			// retries they cost into the surviving run's fault tally.
+			out.Res.Faults.TransientAborts += aborts
+			return out, nil
+		}
+		if !errors.Is(err, faults.ErrTransient) || attempt >= retries || ctx.Err() != nil {
+			return Outcome{}, err
+		}
+		aborts++
+	}
+}
+
+// runAttempt executes one managed-run attempt under the job's
+// watchdog deadline, with a fresh governor, recorder, injector, and
+// trace streams (all are stateful and must not leak across attempts).
+func (e *Engine) runAttempt(ctx context.Context, job Job, cfg config.Config, nonMem float64, attempt int) (Outcome, error) {
+	timeout := job.Timeout
+	if timeout <= 0 {
+		timeout = e.jobTimeout
+	}
+	parent := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	var inj *faults.Injector
+	if job.Faults != nil {
+		var err error
+		if inj, err = faults.New(*job.Faults, attempt); err != nil {
+			return Outcome{}, fmt.Errorf("runner: %w", err)
+		}
+	}
 	streams, err := job.Mix.Streams(&cfg)
 	if err != nil {
 		return Outcome{}, err
@@ -235,15 +347,19 @@ func (e *Engine) Run(ctx context.Context, job Job) (Outcome, error) {
 		NonMemPower:  nonMem,
 		KeepTimeline: job.Timeline,
 		Telemetry:    rec,
+		Faults:       inj,
 	})
 	if err != nil {
 		return Outcome{}, err
 	}
 	res, err := s.RunForContext(ctx, config.Time(job.Epochs)*cfg.Policy.EpochLength)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+			return Outcome{}, fmt.Errorf("runner: job exceeded %v watchdog: %w", timeout, ErrJobTimeout)
+		}
 		return Outcome{}, err
 	}
-	out := Outcome{Mix: job.Mix, Policy: job.Spec.Name, NonMem: nonMem, Base: base, Res: res}
+	out := Outcome{Res: res}
 	if rec != nil {
 		apps := make([]string, cfg.Cores)
 		for i := range apps {

@@ -14,6 +14,7 @@ import (
 	"memscale/internal/cpu"
 	"memscale/internal/dram"
 	"memscale/internal/event"
+	"memscale/internal/faults"
 	"memscale/internal/memctrl"
 	"memscale/internal/power"
 	"memscale/internal/telemetry"
@@ -61,6 +62,21 @@ type Governor interface {
 	EpochEnd(p Profile)
 }
 
+// DegradableGovernor is the graceful-degradation extension. When the
+// fault plane disturbs an epoch, a governor implementing it receives
+// EpochDegraded (with the whole-epoch profile and the fault-class
+// mask) in place of EpochEnd; it must reset its slack accounting
+// rather than trust measurements taken under the disturbance.
+// Governors without the hook simply have the degraded epoch withheld
+// from EpochEnd.
+type DegradableGovernor interface {
+	Governor
+
+	// EpochDegraded is invoked instead of EpochEnd for an epoch the
+	// fault plane marked degraded.
+	EpochDegraded(p Profile, mask faults.Kind)
+}
+
 // PerChannelGovernor is the Section 6 future-work extension: a
 // governor that picks an independent frequency for every memory
 // channel. When a governor implements it, the system applies the
@@ -102,6 +118,10 @@ type Result struct {
 
 	// Epochs is the per-epoch timeline (only when KeepTimeline).
 	Epochs []EpochRecord
+
+	// Faults tallies the disturbances the fault plane actually applied
+	// to this run (zero when no injector was attached).
+	Faults faults.Counts
 }
 
 // SystemEnergy returns total server energy for the run.
@@ -140,6 +160,12 @@ type Options struct {
 	// snapshots from every layer of the system. Purely observational:
 	// the simulated event sequence is identical with or without it.
 	Telemetry *telemetry.Recorder
+
+	// Faults, when non-nil, injects the deterministic disturbance
+	// schedule into the run. A nil injector is the pristine system:
+	// the simulated event sequence is bit-identical to a build without
+	// the fault plane.
+	Faults *faults.Injector
 }
 
 // System is one fully wired simulated server.
@@ -298,6 +324,7 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 	epoch := s.Cfg.Policy.EpochLength
 	profLen := s.Cfg.Policy.ProfilingLength
 	tel := s.opts.Telemetry
+	inj := s.opts.Faults
 
 	// Optional governor hooks the telemetry decision and slack traces
 	// probe for; governors that lack them simply produce sparser traces.
@@ -305,6 +332,14 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 		PredictedMeanCPI(config.FreqMHz) float64
 	})
 	slacker, _ := s.opts.Governor.(interface{ Slack() []config.Time })
+	degrader, _ := s.opts.Governor.(DegradableGovernor)
+	_, perChannel := s.opts.Governor.(PerChannelGovernor)
+	// Fault classes that disturb the control path only make sense
+	// under a uniform governor: the baseline never consults counters
+	// or relocks, and the per-channel extension is outside the fault
+	// model. Refresh storms hit the DRAM regardless of who governs.
+	controlFaults := s.opts.Governor != nil && !perChannel
+
 	var prevSlack []config.Time
 	if tel != nil && slacker != nil {
 		prevSlack = slacker.Slack()
@@ -321,12 +356,77 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 			hostStart = time.Now()
 		}
 
+		plan := inj.EpochPlan(idx)
+		if plan.Panic {
+			panic(faults.InjectedPanic{Epoch: idx})
+		}
+		if plan.Abort {
+			return Result{}, fmt.Errorf("sim: injected abort at epoch %d: %w", idx, faults.ErrTransient)
+		}
+		var mask faults.Kind
+
 		// Profiling phase.
 		profEnd := start + profLen
 		if err := s.stepUntil(ctx, profEnd); err != nil {
 			return Result{}, err
 		}
 		p := s.window(start, profEnd, freq)
+
+		// Counter corruption: the profiled window cannot be trusted.
+		// Degrade gracefully by spending a second profiling window and
+		// deciding from that; when the re-profile is corrupted too, the
+		// epoch has no usable profile at all.
+		decisionAt := profEnd
+		decisionProf := p
+		trusted := true
+		if controlFaults && plan.CorruptProfile {
+			s.result.Faults.CounterCorruptions++
+			mask |= faults.KindCounterCorruption
+			var detail int64
+			if plan.CorruptReprofile {
+				detail = 1
+				trusted = false
+			}
+			tel.Fault(profEnd, uint8(faults.KindCounterCorruption), detail, 0)
+			if !plan.CorruptReprofile {
+				reprofEnd := profEnd + profLen
+				if end := start + epoch; reprofEnd > end {
+					reprofEnd = end
+				}
+				if err := s.stepUntil(ctx, reprofEnd); err != nil {
+					return Result{}, err
+				}
+				p2 := s.window(profEnd, reprofEnd, freq)
+				decisionProf = p2
+				p = mergeProfiles(p, p2)
+				decisionAt = reprofEnd
+			}
+		}
+
+		// Thermal emergency: cap the candidate frequency ceiling while
+		// the window is open.
+		maxAllowed := config.MaxBusFreq
+		if controlFaults && plan.ThermalCeiling != 0 {
+			maxAllowed = plan.ThermalCeiling
+			s.result.Faults.ThermalEpochs++
+			mask |= faults.KindThermal
+			tel.Fault(decisionAt, uint8(faults.KindThermal), int64(maxAllowed), 0)
+		}
+
+		// Refresh storm: a retention emergency owes the DRAM extra
+		// all-bank refresh rounds, spaced so each round can complete
+		// before the next lands.
+		if plan.Storm {
+			s.result.Faults.RefreshStorms++
+			mask |= faults.KindRefreshStorm
+			tel.Fault(decisionAt, uint8(faults.KindRefreshStorm), int64(plan.StormBursts), 0)
+			spacing := 2 * s.MC.Timing().TRFC
+			for b := 0; b < plan.StormBursts; b++ {
+				s.Q.Schedule(decisionAt+config.Time(b)*spacing, func(at config.Time) {
+					s.MC.ForceRefresh(at)
+				})
+			}
+		}
 
 		// Control algorithm invocation + bus frequency re-locking.
 		chosen := freq
@@ -341,9 +441,41 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 				}
 			}
 		} else if s.opts.Governor != nil {
-			chosen = s.opts.Governor.ProfileComplete(p)
+			if trusted && !plan.Storm {
+				chosen = s.opts.Governor.ProfileComplete(decisionProf)
+			} else {
+				// Graceful degradation: with no trustworthy profile, or
+				// a retention emergency stealing bandwidth, fall back to
+				// the maximum allowed frequency instead of guessing.
+				chosen = maxAllowed
+			}
+			if chosen > maxAllowed {
+				chosen = maxAllowed
+			}
 			if chosen != freq {
-				s.MC.SetBusFrequency(profEnd, chosen)
+				penalty := s.MC.RelockPenalty(chosen)
+				if plan.RelockFailures > 0 {
+					// Transient PLL/DLL relock failures: each failed
+					// attempt halts the channels for the full penalty
+					// plus exponential backoff before the retry.
+					s.result.Faults.RelockFaults++
+					mask |= faults.KindRelock
+					stall := inj.RelockStall(penalty, plan.RelockFailures, plan.RelockAbandoned)
+					detail := int64(plan.RelockFailures)
+					if plan.RelockAbandoned {
+						// Every bounded retry failed: give up, stay at
+						// the old frequency, eat the stall.
+						detail = -detail
+						s.result.Faults.RelockAbandoned++
+						s.MC.StallChannels(decisionAt, stall)
+						chosen = freq
+					} else {
+						s.MC.SetBusFrequencyStalled(decisionAt, chosen, stall-penalty)
+					}
+					tel.Fault(decisionAt, uint8(faults.KindRelock), detail, stall)
+				} else {
+					s.MC.SetBusFrequency(decisionAt, chosen)
+				}
 			}
 		}
 		var predicted float64
@@ -356,7 +488,7 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 		if err := s.stepUntil(ctx, epochEnd); err != nil {
 			return Result{}, err
 		}
-		ep := s.window(profEnd, epochEnd, chosen)
+		ep := s.window(decisionAt, epochEnd, chosen)
 		if s.opts.Governor != nil {
 			// The governor accounts slack over the whole epoch.
 			whole := ep
@@ -366,7 +498,20 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 			for i := range whole.Instr {
 				whole.Instr[i] = p.Instr[i] + ep.Instr[i]
 			}
-			s.opts.Governor.EpochEnd(whole)
+			if mask != 0 {
+				// Degraded epoch: its measurements must not feed the
+				// model. Governors with the hook reset their slack
+				// accounting; the rest just skip the update.
+				if degrader != nil {
+					degrader.EpochDegraded(whole, mask)
+				}
+			} else {
+				s.opts.Governor.EpochEnd(whole)
+			}
+		}
+		if mask != 0 {
+			s.result.Faults.DegradedEpochs++
+			tel.DegradedEpoch(epochEnd, uint8(mask), chosen)
 		}
 		if tel != nil && slacker != nil {
 			cur := slacker.Slack()
@@ -381,12 +526,13 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 		}
 
 		if s.opts.KeepTimeline || tel != nil {
-			rec := s.snapshotEpoch(idx, start, profEnd, epochEnd, chosen, chosenPer, p, ep)
+			rec := s.snapshotEpoch(idx, start, decisionAt, epochEnd, chosen, chosenPer, p, ep)
+			rec.FaultMask = uint8(mask)
 			if tel != nil {
 				rec.HostNs = time.Since(hostStart).Nanoseconds()
 				tel.ObserveEpochHost(rec.HostNs)
 				if s.opts.Governor != nil {
-					tel.Decision(profEnd, freq, chosen, predicted, rec.MeanCPI())
+					tel.Decision(decisionAt, freq, chosen, predicted, rec.MeanCPI())
 				}
 				tel.AddEpoch(rec)
 			}
@@ -400,6 +546,41 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 		}
 	}
 	return s.finalize(), nil
+}
+
+// mergeProfiles concatenates two adjacent windows into one: counter
+// and instruction deltas add, power intervals and metered energy
+// accumulate, and the span covers both.
+func mergeProfiles(a, b Profile) Profile {
+	out := a
+	out.End = b.End
+	out.Counters = a.Counters.Add(b.Counters)
+	out.Instr = make([]float64, len(a.Instr))
+	for i := range out.Instr {
+		out.Instr[i] = a.Instr[i] + b.Instr[i]
+	}
+	out.Interval = mergeIntervals(a.Interval, b.Interval)
+	out.Energy = a.Energy
+	out.Energy.Add(b.Energy)
+	return out
+}
+
+// mergeIntervals adds two adjacent power intervals; the later
+// interval's operating points win (they are what the epoch continues
+// under).
+func mergeIntervals(a, b power.Interval) power.Interval {
+	out := power.Interval{
+		Duration:  a.Duration + b.Duration,
+		MCBusFreq: b.MCBusFreq,
+		Channels:  make([]power.ChannelSlice, len(a.Channels)),
+	}
+	for i := range a.Channels {
+		c := b.Channels[i]
+		c.Busy += a.Channels[i].Busy
+		c.DRAM.Add(a.Channels[i].DRAM)
+		out.Channels[i] = c
+	}
+	return out
 }
 
 // snapshotEpoch assembles the per-epoch telemetry record from the two

@@ -229,7 +229,11 @@ func TestNewValidation(t *testing.T) {
 	streams := make([]*trace.Stream, cfg.Cores)
 	p, _ := workload.App("gap")
 	for i := range streams {
-		streams[i] = trace.MustNewStream(p, mapper, uint64(i))
+		s, err := trace.NewStream(p, mapper, uint64(i))
+		if err != nil {
+			t.Fatalf("NewStream: %v", err)
+		}
+		streams[i] = s
 	}
 	if _, err := New(bad, streams, Options{}); err == nil {
 		t.Error("invalid config must error")

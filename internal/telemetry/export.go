@@ -90,6 +90,8 @@ func (r *Recorder) Export(meta RunMeta, freqSeconds map[int]float64) *RunExport 
 			r.Decisions.Name:       r.Decisions.N,
 			r.SlackUpdates.Name:    r.SlackUpdates.N,
 			r.PowerIntervals.Name:  r.PowerIntervals.N,
+			r.FaultsInjected.Name:  r.FaultsInjected.N,
+			r.DegradedEpochs.Name:  r.DegradedEpochs.N,
 		},
 		Gauges:     map[string]float64{},
 		Histograms: []*Histogram{r.ReadLatencyNs.Clone(), r.QueueDepth.Clone(), r.EpochHostUs.Clone()},

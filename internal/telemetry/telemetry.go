@@ -71,6 +71,8 @@ type Recorder struct {
 	Decisions       Counter
 	SlackUpdates    Counter
 	PowerIntervals  Counter
+	FaultsInjected  Counter
+	DegradedEpochs  Counter
 
 	// Gauges (set by the run harness).
 	NonMemPowerW Gauge
@@ -102,6 +104,8 @@ func NewRecorder(opts Options) *Recorder {
 	r.Decisions.Name = "decisions"
 	r.SlackUpdates.Name = "slack_updates"
 	r.PowerIntervals.Name = "power_intervals"
+	r.FaultsInjected.Name = "faults_injected"
+	r.DegradedEpochs.Name = "degraded_epochs"
 	r.NonMemPowerW.Name = "nonmem_power_w"
 	r.GammaBound.Name = "gamma_bound"
 	if opts.Events {
@@ -216,6 +220,31 @@ func (r *Recorder) Decision(t config.Time, from, chosen config.FreqMHz, predicte
 	r.Decisions.Add(1)
 	r.push(Event{Kind: EvDecision, Time: t, Channel: -1, Rank: -1, Core: -1,
 		A: int64(from), B: int64(chosen), F1: predicted, F2: actual})
+}
+
+// Fault records one injected fault instance. kind is the single
+// faults.Kind class bit, detail and dur are class-specific (see
+// EvFault). The invariant the fault tests lean on: exactly one Fault
+// call per applied disturbance, so FaultsInjected reconciles with the
+// run's fault counts.
+func (r *Recorder) Fault(t config.Time, kind uint8, detail int64, dur config.Time) {
+	if r == nil {
+		return
+	}
+	r.FaultsInjected.Add(1)
+	r.push(Event{Kind: EvFault, Time: t, Channel: -1, Rank: -1, Core: -1,
+		A: int64(kind), B: detail, C: int64(dur)})
+}
+
+// DegradedEpoch records an epoch that ended degraded under the given
+// fault-class mask, running at freq.
+func (r *Recorder) DegradedEpoch(t config.Time, mask uint8, freq config.FreqMHz) {
+	if r == nil {
+		return
+	}
+	r.DegradedEpochs.Add(1)
+	r.push(Event{Kind: EvDegraded, Time: t, Channel: -1, Rank: -1, Core: -1,
+		A: int64(mask), B: int64(freq)})
 }
 
 // ObserveReadLatency records one read's arrival-to-data latency.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 
 	"memscale/internal/config"
 )
@@ -47,6 +48,21 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("trace: profile %q has no phases", p.Name)
 	}
 	for i, ph := range p.Phases {
+		// NaN compares false against everything, so the range checks
+		// below would wave it through; Inf rates degenerate the gap
+		// arithmetic. Reject both up front.
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"BaseCPI", ph.BaseCPI}, {"MPKI", ph.MPKI},
+			{"WPKI", ph.WPKI}, {"RowLocality", ph.RowLocality},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+				return fmt.Errorf("trace: %q phase %d: %s must be finite, got %g",
+					p.Name, i, f.name, f.v)
+			}
+		}
 		switch {
 		case ph.BaseCPI <= 0:
 			return fmt.Errorf("trace: %q phase %d: BaseCPI must be positive", p.Name, i)
@@ -126,16 +142,6 @@ func NewStreamOnChannels(p Profile, mapper *config.AddressMapper, seed uint64, c
 	}
 	s.enterPhase(0)
 	return s, nil
-}
-
-// MustNewStream is NewStream that panics on error, for tables of
-// statically known-good profiles.
-func MustNewStream(p Profile, mapper *config.AddressMapper, seed uint64) *Stream {
-	s, err := NewStream(p, mapper, seed)
-	if err != nil {
-		panic(err)
-	}
-	return s
 }
 
 // Name returns the profile name.

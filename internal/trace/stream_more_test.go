@@ -10,7 +10,7 @@ import (
 func TestZeroWPKINeverWritesBack(t *testing.T) {
 	m := testMapper()
 	p := Profile{Name: "ro", Phases: []Phase{{BaseCPI: 1, MPKI: 5, WPKI: 0, RowLocality: 0.2}}}
-	s := MustNewStream(p, m, 4)
+	s := mustStream(t, p, m, 4)
 	for i := 0; i < 5000; i++ {
 		if s.Next().Writeback {
 			t.Fatal("writeback generated with WPKI = 0")
@@ -25,7 +25,7 @@ func TestZeroWPKINeverWritesBack(t *testing.T) {
 func TestHotRowsZeroUsesWholeBank(t *testing.T) {
 	m := testMapper()
 	p := Profile{Name: "wide", Phases: []Phase{{BaseCPI: 1, MPKI: 10, RowLocality: 0}}}
-	s := MustNewStream(p, m, 6)
+	s := mustStream(t, p, m, 6)
 	maxRow := 0
 	for i := 0; i < 20000; i++ {
 		if row := m.Map(s.Next().Line).Row; row > maxRow {
@@ -43,7 +43,7 @@ func TestHotRowsZeroUsesWholeBank(t *testing.T) {
 func TestGapDistributionIsExponentialish(t *testing.T) {
 	m := testMapper()
 	p := Profile{Name: "exp", Phases: []Phase{{BaseCPI: 1, MPKI: 10, RowLocality: 0}}}
-	s := MustNewStream(p, m, 10)
+	s := mustStream(t, p, m, 10)
 	const n = 100000
 	var sum, sumSq float64
 	for i := 0; i < n; i++ {
@@ -67,7 +67,7 @@ func TestMultiPhaseBoundariesExact(t *testing.T) {
 		{Instructions: 50_000, BaseCPI: 2, MPKI: 1},
 		{BaseCPI: 3, MPKI: 20},
 	}}
-	s := MustNewStream(p, m, 12)
+	s := mustStream(t, p, m, 12)
 	var seen [3]uint64
 	for seen[2] < 10_000 {
 		a := s.Next()
@@ -97,15 +97,15 @@ func TestStreamIndependentOfReadOrder(t *testing.T) {
 	// (no shared state).
 	m := testMapper()
 	p := validProfile()
-	a1 := MustNewStream(p, m, 100)
-	b1 := MustNewStream(p, m, 200)
+	a1 := mustStream(t, p, m, 100)
+	b1 := mustStream(t, p, m, 200)
 	var aSeq, bSeq []Access
 	for i := 0; i < 100; i++ {
 		aSeq = append(aSeq, a1.Next())
 		bSeq = append(bSeq, b1.Next())
 	}
-	a2 := MustNewStream(p, m, 100)
-	b2 := MustNewStream(p, m, 200)
+	a2 := mustStream(t, p, m, 100)
+	b2 := mustStream(t, p, m, 200)
 	for i := 0; i < 100; i++ {
 		if bSeq[i] != b2.Next() {
 			t.Fatal("stream b changed under different interleaving")

@@ -13,6 +13,16 @@ func testMapper() *config.AddressMapper {
 	return config.NewAddressMapper(&c)
 }
 
+// mustStream builds a stream from a profile the test knows is valid.
+func mustStream(tb testing.TB, p Profile, m *config.AddressMapper, seed uint64) *Stream {
+	tb.Helper()
+	s, err := NewStream(p, m, seed)
+	if err != nil {
+		tb.Fatalf("NewStream(%q): %v", p.Name, err)
+	}
+	return s
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 100; i++ {
@@ -141,8 +151,8 @@ func TestProfileValidate(t *testing.T) {
 func TestStreamDeterminism(t *testing.T) {
 	m := testMapper()
 	p := validProfile()
-	a := MustNewStream(p, m, 123)
-	b := MustNewStream(p, m, 123)
+	a := mustStream(t, p, m, 123)
+	b := mustStream(t, p, m, 123)
 	for i := 0; i < 1000; i++ {
 		if a.Next() != b.Next() {
 			t.Fatal("streams with identical seeds diverged")
@@ -156,7 +166,7 @@ func TestStreamMPKICalibration(t *testing.T) {
 		p := Profile{Name: "cal", Phases: []Phase{
 			{BaseCPI: 1, MPKI: mpki, WPKI: mpki / 4, RowLocality: 0.3},
 		}}
-		s := MustNewStream(p, m, 99)
+		s := mustStream(t, p, m, 99)
 		const n = 50000
 		for i := 0; i < n; i++ {
 			s.Next()
@@ -180,7 +190,7 @@ func TestStreamPhaseTransition(t *testing.T) {
 		{Instructions: 100000, BaseCPI: 1, MPKI: 1, RowLocality: 0},
 		{BaseCPI: 5, MPKI: 20, RowLocality: 0},
 	}}
-	s := MustNewStream(p, m, 5)
+	s := mustStream(t, p, m, 5)
 	var instrPhase0 uint64
 	for s.PhaseIndex() == 0 {
 		a := s.Next()
@@ -216,7 +226,7 @@ func TestStreamAddressesInRange(t *testing.T) {
 	p := Profile{Name: "addr", Phases: []Phase{
 		{BaseCPI: 1, MPKI: 10, WPKI: 5, RowLocality: 0.8, HotRows: 16},
 	}}
-	s := MustNewStream(p, m, 77)
+	s := mustStream(t, p, m, 77)
 	f := func(_ uint8) bool {
 		a := s.Next()
 		loc := m.Map(a.Line)
@@ -240,7 +250,7 @@ func TestStreamRowLocality(t *testing.T) {
 	p := Profile{Name: "loc", Phases: []Phase{
 		{BaseCPI: 1, MPKI: 10, RowLocality: 0.9, HotRows: 64},
 	}}
-	s := MustNewStream(p, m, 3)
+	s := mustStream(t, p, m, 3)
 	sameRow := 0
 	prev := m.Map(s.Next().Line)
 	const n = 5000
@@ -264,7 +274,7 @@ func TestStreamZeroLocalityJumps(t *testing.T) {
 	p := Profile{Name: "jump", Phases: []Phase{
 		{BaseCPI: 1, MPKI: 10, RowLocality: 0},
 	}}
-	s := MustNewStream(p, m, 8)
+	s := mustStream(t, p, m, 8)
 	channels := map[int]int{}
 	for i := 0; i < 2000; i++ {
 		channels[m.Map(s.Next().Line).Channel]++
@@ -286,17 +296,15 @@ func TestNewStreamRejectsInvalid(t *testing.T) {
 	if _, err := NewStream(p, m, 1); err == nil {
 		t.Error("NewStream must reject invalid profiles")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustNewStream must panic on invalid profile")
-		}
-	}()
-	MustNewStream(p, m, 1)
+	p.Phases[0].MPKI = math.NaN()
+	if _, err := NewStream(p, m, 1); err == nil {
+		t.Error("NewStream must reject NaN rates")
+	}
 }
 
 func BenchmarkStreamNext(b *testing.B) {
 	m := testMapper()
-	s := MustNewStream(validProfile(), m, 1)
+	s := mustStream(b, validProfile(), m, 1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.Next()

@@ -31,8 +31,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"time"
 
 	"memscale/internal/config"
+	"memscale/internal/faults"
 	"memscale/internal/policies"
 	"memscale/internal/runner"
 	"memscale/internal/telemetry"
@@ -40,7 +43,7 @@ import (
 )
 
 // Version of the library.
-const Version = "1.1.0"
+const Version = "1.2.0"
 
 // Typed sentinel errors. Failures wrap these with %w, so callers can
 // classify them with errors.Is regardless of message detail:
@@ -55,8 +58,23 @@ var (
 
 	// ErrInvalidConfig reports a RunConfig whose scaling fields are
 	// degenerate (negative epoch/core/channel counts, out-of-range
-	// gamma, or a machine shape the simulator rejects).
+	// gamma, an invalid fault configuration, or a machine shape the
+	// simulator rejects).
 	ErrInvalidConfig = errors.New("invalid run configuration")
+
+	// ErrRunPanicked reports a run whose simulation panicked. The
+	// worker recovered: in a Sweep the other jobs are unaffected, and
+	// the error chain carries the panic value and stack
+	// (*runner.PanicError).
+	ErrRunPanicked = runner.ErrRunPanicked
+
+	// ErrJobTimeout reports a run that exceeded its watchdog deadline
+	// (SweepConfig.JobTimeout).
+	ErrJobTimeout = runner.ErrJobTimeout
+
+	// ErrTransientFault reports a run killed by an injected transient
+	// fault after its automatic retries were exhausted.
+	ErrTransientFault = faults.ErrTransient
 )
 
 // RunConfig selects and scales one simulation.
@@ -87,6 +105,85 @@ type RunConfig struct {
 	// Telemetry, when non-nil, instruments the managed run with the
 	// telemetry subsystem and attaches the export to the summary.
 	Telemetry *TelemetryConfig
+
+	// Faults, when non-nil, injects the deterministic fault plane into
+	// the managed run: refresh storms, relock failures, counter
+	// corruption, thermal-emergency frequency caps, transient aborts,
+	// and (for pipeline tests) a forced panic. The baseline run is
+	// never faulted. The same FaultConfig always reproduces the same
+	// disturbance schedule, fault counts, and energy totals.
+	Faults *FaultConfig
+}
+
+// FaultConfig configures the fault-injection plane of one run. Rates
+// are per-epoch probabilities in [0, 1]; zero disables a class. The
+// zero value injects nothing. See internal/faults for the semantics
+// of each class and its defaults.
+type FaultConfig struct {
+	// Seed selects the deterministic disturbance schedule.
+	Seed uint64
+
+	// RefreshStormRate triggers retention emergencies that force
+	// RefreshStormBursts extra all-bank refresh rounds (default 2).
+	RefreshStormRate   float64
+	RefreshStormBursts int
+
+	// RelockFailRate makes PLL/DLL relock attempts fail; failures
+	// retry with exponential backoff (base RelockBackoff, default
+	// 100ns) up to RelockMaxRetries extra attempts (default 3) before
+	// the frequency switch is abandoned for the epoch.
+	RelockFailRate   float64
+	RelockMaxRetries int
+	RelockBackoff    time.Duration
+
+	// CounterCorruptRate perturbs a profiled epoch's MC counters; the
+	// governor re-profiles instead of trusting them, and falls back to
+	// the maximum allowed frequency when the re-profile is corrupted
+	// too.
+	CounterCorruptRate float64
+
+	// ThermalRate opens thermal-emergency windows spanning
+	// ThermalWindowEpochs epochs (default 2) during which the
+	// candidate frequency ceiling is capped at ThermalCeilingMHz
+	// (default 400; must be on the DDR3 ladder).
+	ThermalRate         float64
+	ThermalCeilingMHz   int
+	ThermalWindowEpochs int
+
+	// TransientAbortRate aborts run attempts with ErrTransientFault;
+	// aborted attempts are retried automatically up to MaxRunRetries
+	// times (default 2) with the identical hardware fault schedule.
+	TransientAbortRate float64
+	MaxRunRetries      int
+
+	// InjectPanic forces a deliberate panic at epoch PanicEpoch — the
+	// hook for proving that one job's death cannot take down a sweep.
+	InjectPanic bool
+	PanicEpoch  int
+}
+
+// internal maps the public fault configuration onto the fault plane's
+// own config type. Nil-safe: a nil receiver disables injection.
+func (fc *FaultConfig) internal() *faults.Config {
+	if fc == nil {
+		return nil
+	}
+	return &faults.Config{
+		Seed:                fc.Seed,
+		RefreshStormRate:    fc.RefreshStormRate,
+		RefreshStormBursts:  fc.RefreshStormBursts,
+		RelockFailRate:      fc.RelockFailRate,
+		RelockMaxRetries:    fc.RelockMaxRetries,
+		RelockBackoff:       config.FromNanoseconds(float64(fc.RelockBackoff.Nanoseconds())),
+		CounterCorruptRate:  fc.CounterCorruptRate,
+		ThermalRate:         fc.ThermalRate,
+		ThermalCeiling:      config.FreqMHz(fc.ThermalCeilingMHz),
+		ThermalWindowEpochs: fc.ThermalWindowEpochs,
+		TransientAbortRate:  fc.TransientAbortRate,
+		MaxRunRetries:       fc.MaxRunRetries,
+		PanicEnabled:        fc.InjectPanic,
+		PanicEpoch:          fc.PanicEpoch,
+	}
 }
 
 // TelemetryConfig opts a run into telemetry collection. The zero value
@@ -118,7 +215,7 @@ func (rc RunConfig) validate() error {
 	case rc.Epochs < 0:
 		return fmt.Errorf("%w: Epochs must be >= 0 (0 selects the default 10), got %d",
 			ErrInvalidConfig, rc.Epochs)
-	case rc.Gamma < 0 || rc.Gamma >= 1:
+	case math.IsNaN(rc.Gamma) || rc.Gamma < 0 || rc.Gamma >= 1:
 		return fmt.Errorf("%w: Gamma must be in [0, 1) (0 selects the default 0.10), got %g",
 			ErrInvalidConfig, rc.Gamma)
 	case rc.Cores < 0:
@@ -127,6 +224,15 @@ func (rc RunConfig) validate() error {
 	case rc.Channels < 0:
 		return fmt.Errorf("%w: Channels must be >= 0 (0 selects the default), got %d",
 			ErrInvalidConfig, rc.Channels)
+	}
+	if rc.Faults != nil {
+		if rc.Faults.RelockBackoff < 0 {
+			return fmt.Errorf("%w: Faults.RelockBackoff must be >= 0, got %v",
+				ErrInvalidConfig, rc.Faults.RelockBackoff)
+		}
+		if err := rc.Faults.internal().Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
 	}
 	// Positive but unusable machine shapes are caught by the simulator
 	// configuration's own validation; surface them under the same
@@ -177,6 +283,7 @@ func (rc RunConfig) job() (runner.Job, error) {
 		Channels:  rc.Channels,
 		Timeline:  rc.Timeline,
 		Telemetry: rc.Telemetry.options(),
+		Faults:    rc.Faults.internal(),
 	}, nil
 }
 
@@ -222,6 +329,20 @@ type RunSummary struct {
 
 	// Telemetry, when the run requested it, holds the full export.
 	Telemetry *TelemetryExport
+
+	// FaultCounts tallies the injected faults actually applied to the
+	// managed run, keyed by stable class names ("refresh_storm",
+	// "relock_failure", "relock_abandoned", "counter_corruption",
+	// "thermal_emergency", "transient_abort", "degraded_epochs"); nil
+	// when nothing was injected. DegradedEpochs is the number of
+	// epochs the governor ran in degraded mode. Both are reproduced
+	// exactly by the same FaultConfig.
+	FaultCounts    map[string]uint64
+	DegradedEpochs uint64
+
+	// Attempts is how many times the managed run executed: 1 plus the
+	// automatic retries consumed by injected transient faults.
+	Attempts int
 }
 
 // Mixes returns the Table 1 workload names.
@@ -288,6 +409,9 @@ func summarize(out runner.Outcome) RunSummary {
 	// expose them as-is.
 	sum.Timeline = append(sum.Timeline, res.Epochs...)
 	sum.Telemetry = out.Telemetry
+	sum.FaultCounts = res.Faults.Map()
+	sum.DegradedEpochs = res.Faults.DegradedEpochs
+	sum.Attempts = out.Attempts
 	return sum
 }
 

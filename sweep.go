@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"memscale/internal/runner"
 )
@@ -23,6 +24,13 @@ type SweepConfig struct {
 	// Progress, when non-nil, is invoked once per finished job, in
 	// completion order, from one goroutine at a time.
 	Progress func(SweepProgress)
+
+	// JobTimeout, when positive, is a per-job watchdog deadline in
+	// host wall-clock time: a run that overruns it fails with
+	// ErrJobTimeout at its index while the rest of the sweep keeps
+	// going. Zero disables the watchdog (ctx still cancels the whole
+	// sweep).
+	JobTimeout time.Duration
 }
 
 // SweepProgress reports one finished sweep job.
@@ -124,7 +132,7 @@ func Sweep(ctx context.Context, sc SweepConfig) ([]RunSummary, error) {
 		}
 	}
 
-	eng := runner.New(runner.Options{Workers: sc.Workers, OnResult: onResult})
+	eng := runner.New(runner.Options{Workers: sc.Workers, JobTimeout: sc.JobTimeout, OnResult: onResult})
 	outs, runErrs := eng.RunEach(ctx, jobs)
 	for k, out := range outs {
 		i := jobIdx[k]

@@ -154,14 +154,21 @@ func BenchmarkFutureWorkPerChannel(b *testing.B) {
 
 // BenchmarkSingleRun measures the simulator's raw throughput on one
 // memory-bound epoch pair — the unit of work every figure above is
-// built from.
+// built from. events/op (fired simulation events per run) normalizes
+// the trajectory across future workload changes: ns/op may move when a
+// workload grows, but ns divided by events/op is the engine's real
+// per-event cost.
 func BenchmarkSingleRun(b *testing.B) {
 	b.ReportAllocs()
+	var events uint64
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(RunConfig{Mix: "MEM1", Policy: "MemScale", Epochs: 1}); err != nil {
+		sum, err := Run(RunConfig{Mix: "MEM1", Policy: "MemScale", Epochs: 1})
+		if err != nil {
 			b.Fatal(err)
 		}
+		events += sum.Events
 	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
 // benchSweepGrid is the fixed grid behind BenchmarkSweep and

@@ -1,0 +1,191 @@
+// Command memscale-benchguard turns `go test -bench` output into a
+// machine-readable benchmark report and enforces allocation budgets,
+// so a hot-path regression fails CI instead of landing silently.
+//
+// Usage:
+//
+//	go test -run=NONE -bench='BenchmarkSingleRun$|BenchmarkSweep$' \
+//	    -benchmem -benchtime=1x . | memscale-benchguard -out BENCH_4.json
+//
+// It parses every benchmark result line on stdin, writes a JSON report
+// (ns/op, allocs/op, B/op, and any custom metrics such as events/op)
+// alongside the recorded pre-optimization baseline, and exits non-zero
+// when a benchmark with a budget exceeds its allocs/op ceiling.
+//
+// Budgets default to the table below (set from the post-rewrite
+// steady state with generous slack); override per benchmark with
+// -max-allocs 'BenchmarkSingleRun=10000,BenchmarkSweep=200000'.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// preRewriteBaseline records BenchmarkSingleRun on the pre-PR tree
+// (container/heap event queue, per-call closures, delete-by-copy
+// controller queues), measured with -benchtime=3x. It is the fixed
+// reference the report's improvement ratios are computed against.
+var preRewriteBaseline = map[string]result{
+	"BenchmarkSingleRun": {NsPerOp: 4475591713, AllocsPerOp: 41896877, BytesPerOp: 1966664770},
+}
+
+// defaultBudgets are allocs/op ceilings: ~8x the observed post-rewrite
+// cost, and still >4000x below the pre-rewrite cost — loose enough for
+// noise and moderate feature growth, tight enough that reintroducing
+// per-event allocations trips the guard immediately.
+var defaultBudgets = map[string]int64{
+	"BenchmarkSingleRun": 10_000,
+}
+
+type result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Benchmarks map[string]result  `json:"benchmarks"`
+	Baseline   map[string]result  `json:"baseline"`
+	Budgets    map[string]int64   `json:"budgets_allocs_per_op"`
+	Improve    map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	Violations []string           `json:"violations"`
+}
+
+// parseLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkSingleRun-8   3   202072 ns/op   7537 events/op   12 B/op   3 allocs/op
+//
+// returning the benchmark name (GOMAXPROCS suffix stripped) and the
+// parsed result; ok is false for non-benchmark lines.
+func parseLine(line string) (name string, r result, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r.Metrics = map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		default:
+			r.Metrics[fields[i+1]] = val
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return name, r, r.NsPerOp > 0
+}
+
+func parseBudgets(spec string, into map[string]int64) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			return fmt.Errorf("budget %q is not name=allocs", part)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("budget %q: %v", part, err)
+		}
+		into[name] = n
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_4.json", "write the JSON benchmark report to this file")
+	budgetSpec := flag.String("max-allocs", "",
+		"extra allocs/op budgets as 'Name=N,Name=N' (override or extend the defaults)")
+	flag.Parse()
+
+	budgets := make(map[string]int64, len(defaultBudgets))
+	for k, v := range defaultBudgets {
+		budgets[k] = v
+	}
+	if err := parseBudgets(*budgetSpec, budgets); err != nil {
+		fmt.Fprintln(os.Stderr, "memscale-benchguard:", err)
+		os.Exit(2)
+	}
+
+	rep := report{
+		Benchmarks: map[string]result{},
+		Baseline:   preRewriteBaseline,
+		Budgets:    budgets,
+		Improve:    map[string]float64{},
+		Violations: []string{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fmt.Println(sc.Text()) // pass the raw output through
+		name, r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		rep.Benchmarks[name] = r
+		if base, have := preRewriteBaseline[name]; have && r.NsPerOp > 0 {
+			rep.Improve[name] = base.NsPerOp / r.NsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "memscale-benchguard: read:", err)
+		os.Exit(2)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "memscale-benchguard: no benchmark results on stdin")
+		os.Exit(2)
+	}
+
+	for name, budget := range budgets {
+		r, ran := rep.Benchmarks[name]
+		if !ran {
+			continue // guard only what this invocation ran
+		}
+		if r.AllocsPerOp > budget {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"%s allocated %d allocs/op, budget %d", name, r.AllocsPerOp, budget))
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memscale-benchguard:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "memscale-benchguard:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("memscale-benchguard: report written to %s\n", *out)
+
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, "memscale-benchguard: ALLOCATION REGRESSION:", v)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, r, ok := parseLine(
+		"BenchmarkSingleRun-8   3   202072 ns/op   7537 events/op   12 B/op   3 allocs/op")
+	if !ok {
+		t.Fatal("expected a benchmark line to parse")
+	}
+	if name != "BenchmarkSingleRun" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", name)
+	}
+	if r.NsPerOp != 202072 || r.AllocsPerOp != 3 || r.BytesPerOp != 12 {
+		t.Errorf("parsed %+v", r)
+	}
+	if got := r.Metrics["events/op"]; got != 7537 {
+		t.Errorf("events/op = %v, want 7537", got)
+	}
+}
+
+func TestParseLineNoSuffix(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkEventQueue \t 8537520\t       135.1 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok || name != "BenchmarkEventQueue" {
+		t.Fatalf("ok=%v name=%q", ok, name)
+	}
+	if r.NsPerOp != 135.1 || r.AllocsPerOp != 0 || r.Metrics != nil {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarks(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: memscale",
+		"PASS",
+		"ok  \tmemscale\t9.656s",
+		"BenchmarkBroken-8", // no measurements
+		"",
+	} {
+		if name, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted as %q", line, name)
+		}
+	}
+}
+
+func TestParseBudgets(t *testing.T) {
+	into := map[string]int64{"BenchmarkSingleRun": 10_000}
+	if err := parseBudgets("BenchmarkSingleRun=500, BenchmarkSweep=2000", into); err != nil {
+		t.Fatal(err)
+	}
+	if into["BenchmarkSingleRun"] != 500 || into["BenchmarkSweep"] != 2000 {
+		t.Errorf("budgets = %v", into)
+	}
+	if err := parseBudgets("nonsense", into); err == nil {
+		t.Error("malformed spec must error")
+	}
+	if err := parseBudgets("Bench=abc", into); err == nil {
+		t.Error("non-numeric budget must error")
+	}
+}

@@ -6,6 +6,8 @@
 //
 //	memscale-sim -mix MID1 [-policy MemScale] [-epochs 10]
 //	             [-gamma 0.10] [-cores 16] [-channels 4] [-timeline]
+//	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	             [-blockprofile block.pprof]
 //	             [-fault-seed N -fault-storm-rate P -fault-relock-rate P
 //	              -fault-corrupt-rate P -fault-thermal-rate P
 //	              -fault-thermal-ceiling MHZ -fault-abort-rate P]
@@ -13,6 +15,11 @@
 // The -fault-* flags enable the deterministic fault-injection plane;
 // the same seed and rates reproduce the same disturbance schedule,
 // fault counts, and energy totals.
+//
+// The -*profile flags write pprof profiles of the simulation for
+// `go tool pprof`: CPU samples over the whole run, the live heap at
+// exit (after the run, so steady-state retention is visible), and
+// blocking events. Profiling never alters the simulated results.
 //
 // Ctrl-C cancels the simulation promptly.
 package main
@@ -23,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -39,6 +48,9 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the per-epoch frequency/CPI timeline")
 	telemetryOut := flag.String("telemetry-out", "",
 		"collect full telemetry (with events) and write it as JSONL to this file; read it with memscale-report")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (at exit) to this file")
+	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file")
 
 	faultSeed := flag.Uint64("fault-seed", 0, "seed of the deterministic fault-injection schedule")
 	stormRate := flag.Float64("fault-storm-rate", 0, "per-epoch probability of a refresh storm (retention emergency)")
@@ -51,6 +63,50 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "memscale-sim:", err)
+		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer func() {
+			f, err := os.Create(*blockProfile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := pprof.Lookup("block").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // report steady-state retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	rc := memscale.RunConfig{
 		Mix:      *mix,

@@ -37,11 +37,23 @@ type Core struct {
 	reads      uint64
 	writebacks uint64
 	started    bool
+
+	// pending is the access drawn for the current compute segment; the
+	// issue event reads it back instead of capturing it in a closure.
+	pending trace.Access
+
+	// Pre-bound callbacks, created once per core so the per-access hot
+	// path (issue event, read completion) schedules without allocating.
+	onIssue event.Bound
+	onData  event.Handler
 }
 
 // New builds a core that replays stream through mc.
 func New(id int, cfg *config.Config, q *event.Queue, mc *memctrl.Controller, stream *trace.Stream) *Core {
-	return &Core{id: id, cfg: cfg, q: q, mc: mc, stream: stream}
+	c := &Core{id: id, cfg: cfg, q: q, mc: mc, stream: stream}
+	c.onIssue = c.issueEvent
+	c.onData = c.dataReturned
+	return c
 }
 
 // ID returns the core index.
@@ -75,7 +87,18 @@ func (c *Core) beginSegment(now config.Time) {
 		c.retiredBase += float64(acc.Gap)
 	}
 
-	c.q.Schedule(now+dur, func(at config.Time) { c.issue(at, acc, dur > 0) })
+	c.pending = acc
+	credit := int32(0)
+	if dur > 0 {
+		credit = 1
+	}
+	c.q.ScheduleBound(now+dur, c.onIssue, nil, credit, 0)
+}
+
+// issueEvent is the bound form of issue: the access is read back from
+// the core (one issue event is outstanding per core at a time).
+func (c *Core) issueEvent(now config.Time, _ any, credit, _ int32) {
+	c.issue(now, c.pending, credit != 0)
 }
 
 // issue sends the segment's miss (and any writeback) to memory and
@@ -93,11 +116,15 @@ func (c *Core) issue(now config.Time, acc trace.Access, credit bool) {
 		c.mc.Enqueue(now, acc.WBLine, true, c.id, nil)
 	}
 	c.reads++
-	c.mc.Enqueue(now, acc.Line, false, c.id, func(at config.Time) {
-		c.waiting = false
-		c.stallTime += at - c.stallStart
-		c.beginSegment(at)
-	})
+	c.mc.Enqueue(now, acc.Line, false, c.id, c.onData)
+}
+
+// dataReturned unblocks the core when the memory controller delivers
+// the missed line, and starts the next compute segment.
+func (c *Core) dataReturned(at config.Time) {
+	c.waiting = false
+	c.stallTime += at - c.stallStart
+	c.beginSegment(at)
 }
 
 // Instructions returns the (fractional) instructions retired by time

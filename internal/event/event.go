@@ -5,10 +5,18 @@
 // timestamped callbacks. Events scheduled for the same instant fire in
 // the order they were scheduled, which keeps every simulation run
 // exactly reproducible.
+//
+// The queue is built for a zero-allocation steady state: event nodes
+// live in a pooled arena and are recycled through a free list after
+// they fire or are cancelled, the priority queue is a flat 4-ary
+// min-heap of (time, seq) keys with no interface boxing, and the
+// ScheduleBound form lets callers attach a pre-bound callback plus
+// inline arguments so that scheduling never captures a closure. Handles
+// carry a generation counter, so a stale handle can never cancel an
+// event that recycled its slot.
 package event
 
 import (
-	"container/heap"
 	"fmt"
 
 	"memscale/internal/config"
@@ -17,29 +25,57 @@ import (
 // Handler is a callback invoked when an event fires.
 type Handler func(now config.Time)
 
-// Event is a scheduled occurrence. It is returned by Schedule so the
-// caller can cancel it later.
-type Event struct {
-	at      config.Time
-	seq     uint64
-	fn      Handler
-	index   int // heap index; -1 when not queued
-	cancel  bool
-	comment string
+// Bound is the pre-bound callback form: the environment pointer and two
+// integer arguments are stored inline in the event node, so scheduling
+// a Bound callback allocates nothing in steady state. Typical use binds
+// a method value once at construction time and passes per-event state
+// through env/a/b.
+type Bound func(now config.Time, env any, a, b int32)
+
+// Handle identifies a scheduled event. It is a small value (no heap
+// pointer): the index of the pooled node plus the generation the node
+// had when the event was scheduled. The zero Handle is never valid.
+type Handle struct {
+	idx int32
+	gen uint32
 }
 
-// At returns the time the event is scheduled for.
-func (e *Event) At() config.Time { return e.at }
+// entry is one element of the flat 4-ary min-heap: the ordering key
+// (time, then schedule sequence for same-instant FIFO) plus the index
+// of the pooled node carrying the callback.
+type entry struct {
+	at  config.Time
+	seq uint64
+	idx int32
+}
 
-// Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 && !e.cancel }
+func entryLess(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// node is one pooled event. pos is the node's current heap position
+// (-1 when free or fired); gen increments every time the slot is
+// recycled, invalidating old handles.
+type node struct {
+	fn   Handler
+	bfn  Bound
+	env  any
+	a, b int32
+	gen  uint32
+	pos  int32
+}
 
 // Queue is the event priority queue and simulation clock.
 // The zero value is ready to use.
 type Queue struct {
-	h   eventHeap
-	now config.Time
-	seq uint64
+	heap  []entry
+	nodes []node
+	free  []int32
+	now   config.Time
+	seq   uint64
 
 	fired     uint64
 	scheduled uint64
@@ -49,7 +85,7 @@ type Queue struct {
 func (q *Queue) Now() config.Time { return q.now }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue) Len() int { return len(q.heap) }
 
 // Fired returns the number of events executed so far.
 func (q *Queue) Fired() uint64 { return q.fired }
@@ -57,57 +93,151 @@ func (q *Queue) Fired() uint64 { return q.fired }
 // ScheduledTotal returns the number of events ever scheduled.
 func (q *Queue) ScheduledTotal() uint64 { return q.scheduled }
 
-// Schedule queues fn to run at time at. Scheduling in the past (before
-// Now) panics: that is always a simulator bug, and silently clamping
-// would corrupt causality.
-func (q *Queue) Schedule(at config.Time, fn Handler) *Event {
+// PoolSize returns the number of node slots ever allocated — the
+// high-water mark of concurrently pending events.
+func (q *Queue) PoolSize() int { return len(q.nodes) }
+
+// FreeNodes returns the number of pooled slots currently on the free
+// list, available for recycling.
+func (q *Queue) FreeNodes() int { return len(q.free) }
+
+// alloc takes a node slot from the free list, growing the arena only
+// when no recycled slot is available.
+func (q *Queue) alloc() int32 {
+	if n := len(q.free); n > 0 {
+		idx := q.free[n-1]
+		q.free = q.free[:n-1]
+		return idx
+	}
+	q.nodes = append(q.nodes, node{gen: 1, pos: -1})
+	return int32(len(q.nodes) - 1)
+}
+
+// release recycles a node slot: callback references are dropped so the
+// pool retains nothing, and the generation bump invalidates every
+// handle issued for the previous occupant.
+func (q *Queue) release(idx int32) {
+	n := &q.nodes[idx]
+	n.fn = nil
+	n.bfn = nil
+	n.env = nil
+	n.gen++
+	n.pos = -1
+	q.free = append(q.free, idx)
+}
+
+func (q *Queue) add(at config.Time, fn Handler, bfn Bound, env any, a, b int32) Handle {
 	if at < q.now {
 		panic(fmt.Sprintf("event: scheduling at %v before now %v", at, q.now))
 	}
+	q.seq++
+	q.scheduled++
+	idx := q.alloc()
+	n := &q.nodes[idx]
+	n.fn, n.bfn, n.env, n.a, n.b = fn, bfn, env, a, b
+	h := Handle{idx: idx, gen: n.gen}
+	q.heapPush(entry{at: at, seq: q.seq, idx: idx})
+	return h
+}
+
+// Schedule queues fn to run at time at. Scheduling in the past (before
+// Now) panics: that is always a simulator bug, and silently clamping
+// would corrupt causality.
+func (q *Queue) Schedule(at config.Time, fn Handler) Handle {
 	if fn == nil {
 		panic("event: nil handler")
 	}
-	q.seq++
-	q.scheduled++
-	e := &Event{at: at, seq: q.seq, fn: fn, index: -1}
-	heap.Push(&q.h, e)
-	return e
+	return q.add(at, fn, nil, nil, 0, 0)
+}
+
+// ScheduleBound queues a pre-bound callback: fn(at, env, a, b) runs at
+// time at. env and the integer arguments are stored inline in the
+// pooled node, so the call allocates nothing once the pool is warm.
+func (q *Queue) ScheduleBound(at config.Time, fn Bound, env any, a, b int32) Handle {
+	if fn == nil {
+		panic("event: nil handler")
+	}
+	return q.add(at, nil, fn, env, a, b)
 }
 
 // After queues fn to run d after the current time.
-func (q *Queue) After(d config.Time, fn Handler) *Event {
+func (q *Queue) After(d config.Time, fn Handler) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("event: negative delay %v", d))
 	}
 	return q.Schedule(q.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling a fired or already
-// cancelled event is a no-op.
-func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.cancel || e.index < 0 {
-		return
+// AfterBound queues a pre-bound callback d after the current time.
+func (q *Queue) AfterBound(d config.Time, fn Bound, env any, a, b int32) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("event: negative delay %v", d))
 	}
-	e.cancel = true
-	heap.Remove(&q.h, e.index)
-	e.index = -1
+	return q.ScheduleBound(q.now+d, fn, env, a, b)
+}
+
+// live returns the node for h if h still names a pending event.
+func (q *Queue) live(h Handle) *node {
+	if h.idx < 0 || int(h.idx) >= len(q.nodes) {
+		return nil
+	}
+	n := &q.nodes[h.idx]
+	if n.gen != h.gen || n.pos < 0 {
+		return nil
+	}
+	return n
+}
+
+// Pending reports whether the event named by h is still queued.
+func (q *Queue) Pending(h Handle) bool { return q.live(h) != nil }
+
+// EventAt returns the fire time of the pending event named by h, and
+// whether h still names a pending event.
+func (q *Queue) EventAt(h Handle) (config.Time, bool) {
+	n := q.live(h)
+	if n == nil {
+		return 0, false
+	}
+	return q.heap[n.pos].at, true
+}
+
+// Cancel removes a pending event eagerly: the node leaves the heap and
+// returns to the pool immediately, so long-lived cancellations (relock
+// or refresh reschedules) cannot bloat the queue. Cancelling a fired,
+// already cancelled, or recycled handle is a no-op; the generation
+// check guarantees a stale handle can never cancel the slot's next
+// occupant. It reports whether an event was actually cancelled.
+func (q *Queue) Cancel(h Handle) bool {
+	n := q.live(h)
+	if n == nil {
+		return false
+	}
+	q.heapRemove(int(n.pos))
+	q.release(h.idx)
+	return true
 }
 
 // Step executes the next pending event, advancing the clock to its
-// timestamp. It returns false when no events remain.
+// timestamp. It returns false when no events remain. The node is
+// recycled before the callback runs, so a callback scheduling a new
+// event may reuse the slot; the generation bump keeps old handles
+// inert.
 func (q *Queue) Step() bool {
-	for len(q.h) > 0 {
-		e := heap.Pop(&q.h).(*Event)
-		e.index = -1
-		if e.cancel {
-			continue
-		}
-		q.now = e.at
-		q.fired++
-		e.fn(q.now)
-		return true
+	if len(q.heap) == 0 {
+		return false
 	}
-	return false
+	e := q.popRoot()
+	n := &q.nodes[e.idx]
+	fn, bfn, env, a, b := n.fn, n.bfn, n.env, n.a, n.b
+	q.release(e.idx)
+	q.now = e.at
+	q.fired++
+	if bfn != nil {
+		bfn(e.at, env, a, b)
+	} else {
+		fn(e.at)
+	}
+	return true
 }
 
 // RunUntil executes events in order until the next event would fire
@@ -117,10 +247,8 @@ func (q *Queue) RunUntil(deadline config.Time) {
 	if deadline < q.now {
 		panic(fmt.Sprintf("event: RunUntil(%v) before now %v", deadline, q.now))
 	}
-	for len(q.h) > 0 && q.h[0].at <= deadline {
-		if !q.Step() {
-			break
-		}
+	for len(q.heap) > 0 && q.heap[0].at <= deadline {
+		q.Step()
 	}
 	q.now = deadline
 }
@@ -142,41 +270,97 @@ func (q *Queue) Run(limit uint64) uint64 {
 // NextAt returns the timestamp of the next pending event and whether
 // one exists.
 func (q *Queue) NextAt() (config.Time, bool) {
-	if len(q.h) == 0 {
+	if len(q.heap) == 0 {
 		return 0, false
 	}
-	return q.h[0].at, true
+	return q.heap[0].at, true
 }
 
-// eventHeap orders by (time, sequence).
-type eventHeap []*Event
+// The heap is 4-ary: parent of i is (i-1)/4, children are 4i+1..4i+4.
+// A wider node trades deeper comparisons per level for half the levels
+// and better cache behaviour on the flat entry slice — the classic
+// d-ary win for queues dominated by inserts that stay near the leaves.
 
-func (h eventHeap) Len() int { return len(h) }
+// heapPush appends e and restores the heap property upward.
+func (q *Queue) heapPush(e entry) {
+	q.heap = append(q.heap, e)
+	q.siftUp(len(q.heap) - 1)
+}
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// popRoot removes and returns the minimum entry.
+func (q *Queue) popRoot() entry {
+	root := q.heap[0]
+	n := len(q.heap) - 1
+	last := q.heap[n]
+	q.heap[n] = entry{}
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.heap[0] = last
+		q.nodes[last.idx].pos = 0
+		q.siftDown(0)
 	}
-	return h[i].seq < h[j].seq
+	return root
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// heapRemove deletes the entry at heap position i (eager cancellation).
+func (q *Queue) heapRemove(i int) {
+	n := len(q.heap) - 1
+	last := q.heap[n]
+	q.heap[n] = entry{}
+	q.heap = q.heap[:n]
+	if i == n {
+		return
+	}
+	q.heap[i] = last
+	q.nodes[last.idx].pos = int32(i)
+	q.siftDown(i)
+	if q.heap[i].idx == last.idx {
+		q.siftUp(i)
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+func (q *Queue) siftUp(i int) {
+	h := q.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		q.nodes[h[i].idx].pos = int32(i)
+		i = p
+	}
+	h[i] = e
+	q.nodes[e.idx].pos = int32(i)
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+func (q *Queue) siftDown(i int) {
+	h := q.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		q.nodes[h[i].idx].pos = int32(i)
+		i = m
+	}
+	h[i] = e
+	q.nodes[e.idx].pos = int32(i)
 }

@@ -27,6 +27,30 @@ func TestFIFOAtSameInstant(t *testing.T) {
 	}
 }
 
+func TestFIFOAtSameInstantAfterRecycling(t *testing.T) {
+	// Same-instant FIFO must survive node recycling: burn slots through
+	// the pool first, then check ordering on reused slots.
+	var q Queue
+	for i := 0; i < 32; i++ {
+		q.Schedule(config.Time(i), func(config.Time) {})
+	}
+	q.Run(0)
+	if q.FreeNodes() == 0 {
+		t.Fatal("pool should hold recycled slots")
+	}
+	var order []int
+	for i := 0; i < 16; i++ {
+		i := i
+		q.Schedule(1000, func(config.Time) { order = append(order, i) })
+	}
+	q.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("recycled same-instant events out of order: %v", order)
+		}
+	}
+}
+
 func TestTimeOrdering(t *testing.T) {
 	var q Queue
 	times := []config.Time{50, 10, 30, 20, 40, 10, 50}
@@ -46,20 +70,151 @@ func TestTimeOrdering(t *testing.T) {
 func TestCancel(t *testing.T) {
 	var q Queue
 	ran := false
-	e := q.Schedule(10, func(config.Time) { ran = true })
-	if !e.Scheduled() {
-		t.Error("event should report scheduled")
+	h := q.Schedule(10, func(config.Time) { ran = true })
+	if !q.Pending(h) {
+		t.Error("event should report pending")
 	}
-	q.Cancel(e)
-	if e.Scheduled() {
-		t.Error("cancelled event still reports scheduled")
+	if at, ok := q.EventAt(h); !ok || at != 10 {
+		t.Errorf("EventAt = %v, %v", at, ok)
+	}
+	if !q.Cancel(h) {
+		t.Error("Cancel of a pending event must report true")
+	}
+	if q.Pending(h) {
+		t.Error("cancelled event still reports pending")
 	}
 	q.Run(0)
 	if ran {
 		t.Error("cancelled event ran")
 	}
-	q.Cancel(e) // double cancel is a no-op
-	q.Cancel(nil)
+	if q.Cancel(h) {
+		t.Error("double cancel must report false")
+	}
+	if q.Cancel(Handle{}) {
+		t.Error("zero handle cancel must report false")
+	}
+}
+
+func TestCancelRemovesEagerly(t *testing.T) {
+	// A cancelled event must leave the heap immediately, not linger
+	// until its fire time (the old lazy-deletion leak).
+	var q Queue
+	handles := make([]Handle, 100)
+	for i := range handles {
+		handles[i] = q.Schedule(config.Time(1000+i), func(config.Time) {})
+	}
+	for _, h := range handles {
+		q.Cancel(h)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after cancelling everything, want 0 (eager removal)", q.Len())
+	}
+	if q.FreeNodes() != 100 {
+		t.Errorf("FreeNodes = %d, want 100 (cancelled nodes recycled)", q.FreeNodes())
+	}
+}
+
+func TestCancelledHandleCannotHitRecycledSlot(t *testing.T) {
+	// Generation safety: after a slot is recycled, a stale handle to
+	// its previous occupant must be inert.
+	var q Queue
+	h1 := q.Schedule(10, func(config.Time) { t.Error("cancelled event fired") })
+	q.Cancel(h1)
+
+	ran := false
+	h2 := q.Schedule(20, func(config.Time) { ran = true })
+	if h2.idx != h1.idx {
+		t.Fatalf("expected slot reuse: h1.idx=%d h2.idx=%d", h1.idx, h2.idx)
+	}
+	if q.Cancel(h1) {
+		t.Error("stale handle cancelled the slot's new occupant")
+	}
+	q.Run(0)
+	if !ran {
+		t.Error("event killed by a stale handle to a recycled slot")
+	}
+}
+
+func TestFiredHandleCannotHitRecycledSlot(t *testing.T) {
+	// Same generation check for handles to already-fired events.
+	var q Queue
+	h1 := q.Schedule(10, func(config.Time) {})
+	q.Run(0)
+	ran := false
+	h2 := q.Schedule(20, func(config.Time) { ran = true })
+	if h2.idx != h1.idx {
+		t.Fatalf("expected slot reuse: h1.idx=%d h2.idx=%d", h1.idx, h2.idx)
+	}
+	if q.Pending(h1) {
+		t.Error("fired handle reports pending after slot reuse")
+	}
+	if q.Cancel(h1) {
+		t.Error("fired handle cancelled the slot's new occupant")
+	}
+	q.Run(0)
+	if !ran {
+		t.Error("event killed by a stale fired handle")
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	// A self-rescheduling chain must reach steady state with a pool no
+	// larger than its concurrency (one pending event at a time).
+	var q Queue
+	n := 0
+	var tick Handler
+	tick = func(now config.Time) {
+		n++
+		if n < 10000 {
+			q.Schedule(now+1, tick)
+		}
+	}
+	q.Schedule(0, tick)
+	q.Run(0)
+	if n != 10000 {
+		t.Fatalf("fired %d, want 10000", n)
+	}
+	// Step releases the node before invoking the handler, so the chain
+	// needs exactly one slot.
+	if q.PoolSize() != 1 {
+		t.Errorf("PoolSize = %d for a 1-deep chain, want 1", q.PoolSize())
+	}
+}
+
+func TestScheduleBound(t *testing.T) {
+	var q Queue
+	type env struct{ hits int }
+	e := &env{}
+	var got []int32
+	fn := Bound(func(now config.Time, v any, a, b int32) {
+		v.(*env).hits++
+		got = append(got, a, b)
+	})
+	q.ScheduleBound(5, fn, e, 7, -3)
+	q.AfterBound(10, fn, e, 1, 2)
+	q.Run(0)
+	if e.hits != 2 {
+		t.Fatalf("bound handler hits = %d, want 2", e.hits)
+	}
+	if len(got) != 4 || got[0] != 7 || got[1] != -3 || got[2] != 1 || got[3] != 2 {
+		t.Fatalf("bound args = %v", got)
+	}
+	if q.Now() != 10 {
+		t.Errorf("clock = %v, want 10", q.Now())
+	}
+}
+
+func TestBoundAndClosureInterleave(t *testing.T) {
+	// Bound and closure events at the same instant keep schedule order.
+	var q Queue
+	var order []int
+	q.Schedule(10, func(config.Time) { order = append(order, 0) })
+	q.ScheduleBound(10, func(config.Time, any, int32, int32) { order = append(order, 1) }, nil, 0, 0)
+	q.Schedule(10, func(config.Time) { order = append(order, 2) })
+	q.Run(0)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("interleaved order = %v", order)
+	}
 }
 
 func TestCancelFromHandler(t *testing.T) {
@@ -140,13 +295,23 @@ func TestNilHandlerPanics(t *testing.T) {
 	q.Schedule(1, nil)
 }
 
+func TestNilBoundHandlerPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Error("nil bound handler must panic")
+		}
+	}()
+	q.ScheduleBound(1, nil, nil, 0, 0)
+}
+
 func TestCounters(t *testing.T) {
 	var q Queue
 	for i := 0; i < 5; i++ {
 		q.Schedule(config.Time(i), func(config.Time) {})
 	}
-	e := q.Schedule(99, func(config.Time) {})
-	q.Cancel(e)
+	h := q.Schedule(99, func(config.Time) {})
+	q.Cancel(h)
 	q.Run(0)
 	if q.ScheduledTotal() != 6 {
 		t.Errorf("ScheduledTotal = %d, want 6", q.ScheduledTotal())
@@ -179,7 +344,7 @@ func TestRandomizedOrdering(t *testing.T) {
 		var q Queue
 		count := int(n%64) + 1
 		type rec struct {
-			ev        *Event
+			h         Handle
 			cancelled bool
 		}
 		recs := make([]*rec, count)
@@ -188,7 +353,7 @@ func TestRandomizedOrdering(t *testing.T) {
 			r := &rec{}
 			recs[i] = r
 			at := config.Time(rng.Intn(1000))
-			r.ev = q.Schedule(at, func(now config.Time) {
+			r.h = q.Schedule(at, func(now config.Time) {
 				if r.cancelled {
 					t.Errorf("cancelled event fired at %v", now)
 				}
@@ -199,9 +364,12 @@ func TestRandomizedOrdering(t *testing.T) {
 		for _, r := range recs {
 			if rng.Intn(3) == 0 {
 				r.cancelled = true
-				q.Cancel(r.ev)
+				q.Cancel(r.h)
 				survivors--
 			}
+		}
+		if q.Len() != survivors {
+			return false // eager removal must shrink the heap
 		}
 		q.Run(0)
 		if len(firedAt) != survivors {
@@ -225,5 +393,52 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 			}
 		}
 	}
+	q.Run(0)
+}
+
+// BenchmarkEventQueue is the zero-allocation reference: a warmed pool
+// driven entirely through the bound form must schedule and fire with 0
+// allocs/op.
+func BenchmarkEventQueue(b *testing.B) {
+	var q Queue
+	fn := Bound(func(config.Time, any, int32, int32) {})
+	// Warm the pool and the heap arena.
+	for i := 0; i < 1024; i++ {
+		q.ScheduleBound(q.Now()+config.Time(i%128), fn, nil, 0, 0)
+	}
+	for q.Len() > 512 {
+		q.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.ScheduleBound(q.Now()+config.Time(i%128), fn, nil, int32(i), 0)
+		if q.Len() > 1024 {
+			for q.Len() > 512 {
+				q.Step()
+			}
+		}
+	}
+	b.StopTimer()
+	q.Run(0)
+}
+
+// BenchmarkEventQueueCancel measures the eager-removal path.
+func BenchmarkEventQueueCancel(b *testing.B) {
+	var q Queue
+	fn := Bound(func(config.Time, any, int32, int32) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := q.ScheduleBound(q.Now()+config.Time(64+i%128), fn, nil, 0, 0)
+		q.ScheduleBound(q.Now()+config.Time(i%64), fn, nil, 0, 0)
+		q.Cancel(h)
+		if q.Len() > 1024 {
+			for q.Len() > 512 {
+				q.Step()
+			}
+		}
+	}
+	b.StopTimer()
 	q.Run(0)
 }

@@ -1,0 +1,81 @@
+package event
+
+import (
+	"testing"
+
+	"memscale/internal/config"
+)
+
+// FuzzScheduleCancelStep drives the queue with an arbitrary interleaving
+// of Schedule, ScheduleBound, Cancel, and Step operations decoded from
+// the fuzz input, and asserts the core invariants: fire times are
+// monotonically nondecreasing, cancelled events never fire, the heap
+// length always matches live scheduling arithmetic, and every slot the
+// pool ever allocated is either pending or on the free list when the
+// queue drains.
+func FuzzScheduleCancelStep(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 20, 2, 0, 3, 3})
+	f.Add([]byte{0, 5, 0, 5, 0, 5, 2, 1, 3, 3, 3})
+	f.Add([]byte{1, 0, 2, 0, 1, 1, 3, 0, 0, 7, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Queue
+		var handles []Handle
+		cancelled := make(map[Handle]bool)
+		lastFired := config.Time(-1)
+		live := 0
+		onFire := func(now config.Time) {
+			if now < lastFired {
+				t.Fatalf("fire times went backwards: %v after %v", now, lastFired)
+			}
+			lastFired = now
+		}
+		bound := Bound(func(now config.Time, _ any, _, _ int32) { onFire(now) })
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%4, config.Time(data[i+1])
+			switch op {
+			case 0:
+				handles = append(handles, q.Schedule(q.Now()+arg, onFire))
+				live++
+			case 1:
+				handles = append(handles, q.ScheduleBound(q.Now()+arg, bound, nil, int32(arg), 0))
+				live++
+			case 2:
+				if len(handles) > 0 {
+					h := handles[int(arg)%len(handles)]
+					if q.Cancel(h) {
+						cancelled[h] = true
+						live--
+					} else if q.Pending(h) {
+						t.Fatal("Cancel returned false for a pending event")
+					}
+				}
+			case 3:
+				if q.Step() {
+					live--
+				} else if live != 0 {
+					t.Fatalf("Step returned false with %d live events", live)
+				}
+			}
+			if q.Len() != live {
+				t.Fatalf("Len = %d, want %d live events", q.Len(), live)
+			}
+			for h := range cancelled {
+				if q.Pending(h) {
+					t.Fatal("cancelled handle reports pending")
+				}
+			}
+		}
+		q.Run(0)
+		if q.Len() != 0 {
+			t.Fatalf("drained queue has Len %d", q.Len())
+		}
+		if q.FreeNodes() != q.PoolSize() {
+			t.Fatalf("pool leak: %d slots, %d free", q.PoolSize(), q.FreeNodes())
+		}
+		if q.Fired()+uint64(len(cancelled)) != q.ScheduledTotal() {
+			t.Fatalf("accounting: fired %d + cancelled %d != scheduled %d",
+				q.Fired(), len(cancelled), q.ScheduledTotal())
+		}
+	})
+}

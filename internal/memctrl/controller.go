@@ -43,16 +43,17 @@ func (c *Controller) bankID(rank, bank int) bankID {
 }
 
 type bank struct {
-	queue      []*Request // FIFO of reads waiting for this bank
-	dispatched bool       // a request occupies MC pipeline/bank/bus-wait
+	queue      reqRing // FIFO of reads waiting for this bank
+	wb         reqRing // FIFO of writebacks targeting this bank
+	dispatched bool    // a request occupies MC pipeline/bank/bus-wait
 }
 
 type channel struct {
 	banks   []bank
-	wbQueue []*Request // writebacks waiting for a bank
+	wbCount int // writebacks queued across all banks
 
 	busFreeAt config.Time
-	busQueue  []*Request // bank-service-complete, waiting for the bus
+	busQueue  reqRing // bank-service-complete, waiting for the bus
 
 	busBusy config.Time // accumulated burst occupancy since last flush
 
@@ -88,6 +89,21 @@ type Controller struct {
 	// powerdown/refresh/relock events. Purely observational: no
 	// scheduling decision reads it.
 	tel *telemetry.Recorder
+
+	// reqFree recycles Request objects: every transaction that clears
+	// the bus returns its Request here, so the steady state allocates
+	// none.
+	reqFree []*Request
+
+	// Pre-bound event callbacks, created once so the hot path schedules
+	// without capturing a closure (see event.Bound).
+	onStartBank   event.Bound
+	onBusReady    event.Bound
+	onBankKick    event.Bound
+	onPrecharge   event.Bound
+	onGrantBus    event.Bound
+	onRefreshTick event.Bound
+	onRefreshDone event.Bound
 }
 
 // New builds a controller for cfg, scheduling on q. Every channel
@@ -100,6 +116,13 @@ func New(cfg *config.Config, q *event.Queue) *Controller {
 		mcBusFreq: config.MaxBusFreq,
 	}
 	c.mcTime = cfg.Timing.MCTime(config.MaxBusFreq)
+	c.onStartBank = c.startBankServiceEvent
+	c.onBusReady = c.busReadyEvent
+	c.onBankKick = c.bankKickEvent
+	c.onPrecharge = c.prechargeEvent
+	c.onGrantBus = c.grantBusEvent
+	c.onRefreshTick = c.refreshTickEvent
+	c.onRefreshDone = c.refreshDoneEvent
 
 	banksPerChannel := cfg.RanksPerChannel() * cfg.BanksPerRank
 	c.channels = make([]*channel, cfg.Channels)
@@ -145,10 +168,9 @@ func (c *Controller) Start() {
 	i := config.Time(0)
 	for ch := range c.ranks {
 		for r := range c.ranks[ch] {
-			ch, r := ch, r
 			first := c.q.Now() + interval*(i+1)/n
 			i++
-			c.q.Schedule(first, func(now config.Time) { c.refreshTimer(now, ch, r) })
+			c.q.ScheduleBound(first, c.onRefreshTick, nil, int32(ch), int32(r))
 			// Ranks that never see traffic still power down under the
 			// powerdown policies.
 			c.maybePowerdown(c.q.Now(), ch, r)
@@ -180,11 +202,30 @@ func (c *Controller) Counters() Counters { return c.counters.Clone() }
 // under uniform scaling).
 func (c *Controller) Timing() dram.Resolved { return c.channels[0].timing }
 
+// getRequest takes a recycled Request from the pool, or allocates one
+// while the pool warms up.
+func (c *Controller) getRequest() *Request {
+	if n := len(c.reqFree); n > 0 {
+		req := c.reqFree[n-1]
+		c.reqFree = c.reqFree[:n-1]
+		return req
+	}
+	return &Request{}
+}
+
+// putRequest recycles a completed Request. The struct is zeroed so the
+// pool retains no callback or location from the previous transaction.
+func (c *Controller) putRequest(req *Request) {
+	*req = Request{}
+	c.reqFree = append(c.reqFree, req)
+}
+
 // Enqueue submits a memory transaction. Reads invoke done when their
 // data transfer completes; writebacks ignore done.
 func (c *Controller) Enqueue(now config.Time, line uint64, write bool, core int, done func(config.Time)) {
 	loc := c.mapper.Map(line)
-	req := &Request{Loc: loc, Write: write, Core: core, Done: done, Arrived: now}
+	req := c.getRequest()
+	*req = Request{Loc: loc, Write: write, Core: core, Done: done, Arrived: now}
 	ch := c.channels[loc.Channel]
 	b := c.bankID(loc.Rank, loc.Bank)
 	pc := &c.counters.PerChannel[loc.Channel]
@@ -193,7 +234,7 @@ func (c *Controller) Enqueue(now config.Time, line uint64, write bool, core int,
 	c.counters.BTC++
 	c.counters.BTO += uint64(ch.outstanding[b])
 	c.counters.CTC++
-	busOut := len(ch.busQueue)
+	busOut := ch.busQueue.Len()
 	if ch.busFreeAt > now {
 		busOut++
 	}
@@ -215,39 +256,32 @@ func (c *Controller) Enqueue(now config.Time, line uint64, write bool, core int,
 	c.pending[loc.Channel][loc.Rank]++
 
 	if write {
-		ch.wbQueue = append(ch.wbQueue, req)
+		ch.banks[b].wb.Push(req)
+		ch.wbCount++
 	} else {
-		ch.banks[b].queue = append(ch.banks[b].queue, req)
+		ch.banks[b].queue.Push(req)
 	}
 	c.tryDispatch(now, loc.Channel, b)
 }
 
 // nextFor selects the next request to dispatch to a bank, applying the
 // paper's scheduling rule: reads have priority over writebacks until
-// the writeback queue is half full (Section 4.1).
+// the writeback queue is half full (Section 4.1). Writebacks are queued
+// per bank, so taking the oldest writeback for this bank is O(1)
+// instead of a scan-and-shift of one channel-wide slice.
 func (c *Controller) nextFor(ch *channel, b bankID) *Request {
-	wbFirst := len(ch.wbQueue) >= c.cfg.WritebackQueueCap/2
-	takeWB := func() *Request {
-		for i, r := range ch.wbQueue {
-			if c.bankID(r.Loc.Rank, r.Loc.Bank) == b {
-				ch.wbQueue = append(ch.wbQueue[:i], ch.wbQueue[i+1:]...)
-				return r
-			}
-		}
-		return nil
+	bk := &ch.banks[b]
+	wbFirst := ch.wbCount >= c.cfg.WritebackQueueCap/2
+	if wbFirst && bk.wb.Len() > 0 {
+		ch.wbCount--
+		return bk.wb.Pop()
 	}
-	if wbFirst {
-		if r := takeWB(); r != nil {
-			return r
-		}
+	if bk.queue.Len() > 0 {
+		return bk.queue.Pop()
 	}
-	if q := ch.banks[b].queue; len(q) > 0 {
-		r := q[0]
-		ch.banks[b].queue = q[1:]
-		return r
-	}
-	if !wbFirst {
-		return takeWB()
+	if !wbFirst && bk.wb.Len() > 0 {
+		ch.wbCount--
+		return bk.wb.Pop()
 	}
 	return nil
 }
@@ -282,7 +316,11 @@ func (c *Controller) tryDispatch(now config.Time, chIdx int, b bankID) {
 	c.dispatched[chIdx][rankIdx]++
 	// The MC pipeline spends mcTime per request before the device
 	// sees it (five MC cycles, Section 3.3).
-	c.q.Schedule(now+c.mcTime, func(at config.Time) { c.startBankService(at, chIdx, b, req) })
+	c.q.ScheduleBound(now+c.mcTime, c.onStartBank, req, int32(chIdx), int32(b))
+}
+
+func (c *Controller) startBankServiceEvent(now config.Time, env any, a, b int32) {
+	c.startBankService(now, int(a), bankID(b), env.(*Request))
 }
 
 // startBankService issues the request to the DRAM bank.
@@ -290,7 +328,7 @@ func (c *Controller) startBankService(now config.Time, chIdx int, b bankID, req 
 	ch := c.channels[chIdx]
 	if ch.relocking {
 		// The relock began after dispatch; resume when it ends.
-		c.q.Schedule(ch.relockUntil, func(at config.Time) { c.startBankService(at, chIdx, b, req) })
+		c.q.ScheduleBound(ch.relockUntil, c.onStartBank, req, int32(chIdx), int32(b))
 		return
 	}
 	rankIdx := int(b) / c.cfg.BanksPerRank
@@ -327,10 +365,15 @@ func (c *Controller) startBankService(now config.Time, chIdx int, b bankID, req 
 		ready += extra
 	}
 	req.ready = ready
-	c.q.Schedule(ready, func(at config.Time) {
-		ch.busQueue = append(ch.busQueue, req)
-		c.tryGrantBus(at, chIdx)
-	})
+	c.q.ScheduleBound(ready, c.onBusReady, req, int32(chIdx), 0)
+}
+
+// busReadyEvent queues a bank-service-complete request for the channel
+// bus and tries to grant it.
+func (c *Controller) busReadyEvent(now config.Time, env any, a, _ int32) {
+	chIdx := int(a)
+	c.channels[chIdx].busQueue.Push(env.(*Request))
+	c.tryGrantBus(now, chIdx)
 }
 
 // tryGrantBus gives the channel bus to the oldest ready request. The
@@ -338,11 +381,10 @@ func (c *Controller) startBankService(now config.Time, chIdx int, b bankID, req 
 // transfer-blocking behaviour of the Figure 4 queueing model.
 func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 	ch := c.channels[chIdx]
-	if ch.relocking || len(ch.busQueue) == 0 || ch.busFreeAt > now {
+	if ch.relocking || ch.busQueue.Len() == 0 || ch.busFreeAt > now {
 		return
 	}
-	req := ch.busQueue[0]
-	ch.busQueue = ch.busQueue[1:]
+	req := ch.busQueue.Pop()
 
 	busStart := now
 	busEnd := busStart + ch.timing.Burst
@@ -357,7 +399,7 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 	// request already queued for this bank targets the same row
 	// (Section 4.1); otherwise auto-precharge.
 	keepOpen := false
-	if q := ch.banks[b].queue; len(q) > 0 && q[0].Loc.Row == req.Loc.Row && !rank.RefreshBlocked() {
+	if q := &ch.banks[b].queue; q.Len() > 0 && q.Peek().Loc.Row == req.Loc.Row && !rank.RefreshBlocked() {
 		keepOpen = true
 	}
 
@@ -387,24 +429,45 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 	}
 
 	if keepOpen {
-		c.q.Schedule(busEnd, func(at config.Time) { c.tryDispatch(at, chIdx, b) })
+		c.q.ScheduleBound(busEnd, c.onBankKick, nil, int32(chIdx), int32(b))
 	} else {
-		c.q.Schedule(prechargeDone, func(at config.Time) {
-			c.ranks[chIdx][rankIdx].PrechargeDone(at, int(b)%c.cfg.BanksPerRank)
-			c.tryDispatch(at, chIdx, b)
-			c.maybePowerdown(at, chIdx, rankIdx)
-		})
+		c.q.ScheduleBound(prechargeDone, c.onPrecharge, nil, int32(chIdx), int32(b))
 	}
 
 	if req.Done != nil && !req.Write {
-		done := req.Done
-		c.q.Schedule(busEnd, func(at config.Time) { done(at) })
+		c.q.Schedule(busEnd, req.Done)
 	}
+
+	// The transaction is through: recycle its Request. Everything that
+	// still needs to run (completion callback, precharge, bus grant)
+	// was captured into events above.
+	c.putRequest(req)
 
 	c.refreshKick(now, chIdx, rankIdx)
 
 	// The bus frees at busEnd; grant the next ready request then.
-	c.q.Schedule(busEnd, func(at config.Time) { c.tryGrantBus(at, chIdx) })
+	c.q.ScheduleBound(busEnd, c.onGrantBus, nil, int32(chIdx), 0)
+}
+
+// bankKickEvent re-attempts dispatch on one bank (after a kept-open row
+// finished its burst).
+func (c *Controller) bankKickEvent(now config.Time, _ any, a, b int32) {
+	c.tryDispatch(now, int(a), bankID(b))
+}
+
+// prechargeEvent completes a bank's auto-precharge, re-kicks dispatch,
+// and reconsiders powerdown.
+func (c *Controller) prechargeEvent(now config.Time, _ any, a, b int32) {
+	chIdx, bk := int(a), bankID(b)
+	rankIdx := int(bk) / c.cfg.BanksPerRank
+	c.ranks[chIdx][rankIdx].PrechargeDone(now, int(bk)%c.cfg.BanksPerRank)
+	c.tryDispatch(now, chIdx, bk)
+	c.maybePowerdown(now, chIdx, rankIdx)
+}
+
+// grantBusEvent grants the freed channel bus to the next ready request.
+func (c *Controller) grantBusEvent(now config.Time, _ any, a, _ int32) {
+	c.tryGrantBus(now, int(a))
 }
 
 // maybePowerdown drops an idle rank into the configured powerdown
@@ -423,11 +486,14 @@ func (c *Controller) maybePowerdown(now config.Time, chIdx, rankIdx int) {
 	}
 }
 
+// refreshTickEvent is the bound form of refreshTimer.
+func (c *Controller) refreshTickEvent(now config.Time, _ any, a, b int32) {
+	c.refreshTimer(now, int(a), int(b))
+}
+
 // refreshTimer fires every tREFI per rank.
 func (c *Controller) refreshTimer(now config.Time, chIdx, rankIdx int) {
-	c.q.Schedule(now+c.cfg.Timing.RefreshInterval(), func(at config.Time) {
-		c.refreshTimer(at, chIdx, rankIdx)
-	})
+	c.q.ScheduleBound(now+c.cfg.Timing.RefreshInterval(), c.onRefreshTick, nil, int32(chIdx), int32(rankIdx))
 	c.ranks[chIdx][rankIdx].SetRefreshPending()
 	c.refreshKick(now, chIdx, rankIdx)
 }
@@ -446,14 +512,18 @@ func (c *Controller) refreshKick(now config.Time, chIdx, rankIdx int) {
 	if c.tel != nil {
 		c.tel.Refresh(now, chIdx, rankIdx, until-now)
 	}
-	c.q.Schedule(until, func(at config.Time) {
-		rank.RefreshDone(at)
-		// A round that became pending mid-refresh starts now, before
-		// any dispatch or powerdown decision.
-		c.refreshKick(at, chIdx, rankIdx)
-		c.kickRank(at, chIdx, rankIdx)
-		c.maybePowerdown(at, chIdx, rankIdx)
-	})
+	c.q.ScheduleBound(until, c.onRefreshDone, nil, int32(chIdx), int32(rankIdx))
+}
+
+// refreshDoneEvent completes a running refresh: a round that became
+// pending mid-refresh starts now, before any dispatch or powerdown
+// decision.
+func (c *Controller) refreshDoneEvent(now config.Time, _ any, a, b int32) {
+	chIdx, rankIdx := int(a), int(b)
+	c.ranks[chIdx][rankIdx].RefreshDone(now)
+	c.refreshKick(now, chIdx, rankIdx)
+	c.kickRank(now, chIdx, rankIdx)
+	c.maybePowerdown(now, chIdx, rankIdx)
 }
 
 // kickRank re-attempts dispatch on every bank of a rank (after a

@@ -1,0 +1,57 @@
+package memctrl
+
+// reqRing is a FIFO of requests backed by a power-of-two circular
+// buffer: push/pop/peek are O(1) with no per-request garbage, replacing
+// the delete-by-copy slices the controller's hot path used to shift on
+// every dequeue. The zero value is an empty ring.
+type reqRing struct {
+	buf   []*Request
+	head  int
+	count int
+}
+
+// Len returns the number of queued requests.
+func (r *reqRing) Len() int { return r.count }
+
+// Push appends req at the tail, growing the buffer only when full.
+func (r *reqRing) Push(req *Request) {
+	if r.count == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.count)&(len(r.buf)-1)] = req
+	r.count++
+}
+
+// Pop removes and returns the head request. The vacated slot is nilled
+// so the ring never pins a recycled request.
+func (r *reqRing) Pop() *Request {
+	if r.count == 0 {
+		panic("memctrl: Pop from empty ring")
+	}
+	req := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.count--
+	return req
+}
+
+// Peek returns the head request without removing it.
+func (r *reqRing) Peek() *Request {
+	if r.count == 0 {
+		panic("memctrl: Peek at empty ring")
+	}
+	return r.buf[r.head]
+}
+
+func (r *reqRing) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	nb := make([]*Request, n)
+	for i := 0; i < r.count; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}

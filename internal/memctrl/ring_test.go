@@ -1,0 +1,80 @@
+package memctrl
+
+import "testing"
+
+func TestRingFIFO(t *testing.T) {
+	var r reqRing
+	reqs := make([]*Request, 20)
+	for i := range reqs {
+		reqs[i] = &Request{Core: i}
+		r.Push(reqs[i])
+	}
+	if r.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", r.Len())
+	}
+	for i := range reqs {
+		if got := r.Pop(); got != reqs[i] {
+			t.Fatalf("Pop %d returned core %d", i, got.Core)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after draining", r.Len())
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	// Interleave pushes and pops so head walks around the buffer many
+	// times without growing it.
+	var r reqRing
+	next := 0
+	for i := 0; i < 1000; i++ {
+		r.Push(&Request{Core: i})
+		if i%3 != 0 {
+			if got := r.Pop(); got.Core != next {
+				t.Fatalf("Pop returned core %d, want %d", got.Core, next)
+			}
+			next++
+		}
+	}
+	for r.Len() > 0 {
+		if got := r.Pop(); got.Core != next {
+			t.Fatalf("drain returned core %d, want %d", got.Core, next)
+		}
+		next++
+	}
+	if next != 1000 {
+		t.Fatalf("drained %d requests, want 1000", next)
+	}
+}
+
+func TestRingGrowPreservesOrder(t *testing.T) {
+	var r reqRing
+	// Offset head so growth has to unwrap a wrapped buffer.
+	for i := 0; i < 5; i++ {
+		r.Push(&Request{})
+	}
+	for i := 0; i < 5; i++ {
+		r.Pop()
+	}
+	for i := 0; i < 100; i++ {
+		r.Push(&Request{Core: i})
+	}
+	if got := r.Peek(); got.Core != 0 {
+		t.Fatalf("Peek returned core %d, want 0", got.Core)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Pop(); got.Core != i {
+			t.Fatalf("Pop returned core %d, want %d", got.Core, i)
+		}
+	}
+}
+
+func TestRingEmptyPanics(t *testing.T) {
+	var r reqRing
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop from empty ring must panic")
+		}
+	}()
+	r.Pop()
+}

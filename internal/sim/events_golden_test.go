@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/workload"
+)
+
+// TestGoldenEventCounts pins the exact number of events fired and
+// scheduled over two baseline epochs, captured on the pre-rewrite
+// container/heap event core. The pooled flat-heap queue must schedule
+// and fire the identical event population — any drift means the
+// rewrite changed the simulated event sequence, not just its cost.
+func TestGoldenEventCounts(t *testing.T) {
+	golden := []struct {
+		mix              string
+		fired, scheduled uint64
+	}{
+		{"MEM1", 16540049, 16540085},
+		{"ILP1", 1556545, 1556578},
+		{"MID2", 6748782, 6748815},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.mix, func(t *testing.T) {
+			t.Parallel()
+			cfg := config.Default()
+			mix, err := workload.ByName(g.mix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streams, err := mix.Streams(&cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(cfg, streams, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := s.RunFor(2 * cfg.Policy.EpochLength)
+			if s.Q.Fired() != g.fired {
+				t.Errorf("fired %d events, want %d", s.Q.Fired(), g.fired)
+			}
+			if s.Q.ScheduledTotal() != g.scheduled {
+				t.Errorf("scheduled %d events, want %d", s.Q.ScheduledTotal(), g.scheduled)
+			}
+			if res.Events != g.fired {
+				t.Errorf("Result.Events = %d, want Fired() = %d", res.Events, g.fired)
+			}
+		})
+	}
+}

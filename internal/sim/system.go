@@ -122,6 +122,11 @@ type Result struct {
 	// Faults tallies the disturbances the fault plane actually applied
 	// to this run (zero when no injector was attached).
 	Faults faults.Counts
+
+	// Events is the number of simulation events fired over the run —
+	// the denominator that normalizes host-time throughput (events/op)
+	// across workload changes.
+	Events uint64
 }
 
 // SystemEnergy returns total server energy for the run.
@@ -634,5 +639,6 @@ func (s *System) finalize() Result {
 	r.NonMemEnergy = s.opts.NonMemPower * now.Seconds()
 	r.DIMMAvgWatts = s.Meter.AverageDIMMPower()
 	r.MemAvgWatts = s.Meter.AveragePower()
+	r.Events = s.Q.Fired()
 	return *r
 }

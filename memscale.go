@@ -343,6 +343,10 @@ type RunSummary struct {
 	// Attempts is how many times the managed run executed: 1 plus the
 	// automatic retries consumed by injected transient faults.
 	Attempts int
+
+	// Events is the number of simulation events the managed run fired —
+	// the unit benchmarks normalize throughput against (events/op).
+	Events uint64
 }
 
 // Mixes returns the Table 1 workload names.
@@ -412,6 +416,7 @@ func summarize(out runner.Outcome) RunSummary {
 	sum.FaultCounts = res.Faults.Map()
 	sum.DegradedEpochs = res.Faults.DegradedEpochs
 	sum.Attempts = out.Attempts
+	sum.Events = res.Events
 	return sum
 }
 

@@ -1,20 +1,26 @@
 // Command memscale-benchguard turns `go test -bench` output into a
-// machine-readable benchmark report and enforces allocation budgets,
-// so a hot-path regression fails CI instead of landing silently.
+// machine-readable benchmark report and enforces per-benchmark
+// budgets, so a hot-path regression fails CI instead of landing
+// silently.
 //
 // Usage:
 //
 //	go test -run=NONE -bench='BenchmarkSingleRun$|BenchmarkSweep$' \
-//	    -benchmem -benchtime=1x . | memscale-benchguard -out BENCH_4.json
+//	    -benchmem -benchtime=1x . | memscale-benchguard -out BENCH_5.json
 //
-// It parses every benchmark result line on stdin, writes a JSON report
-// (ns/op, allocs/op, B/op, and any custom metrics such as events/op)
-// alongside the recorded pre-optimization baseline, and exits non-zero
-// when a benchmark with a budget exceeds its allocs/op ceiling.
+// It parses every benchmark result line on stdin — lines with only the
+// standard ns/op, B/op, and allocs/op columns are accepted as-is;
+// custom metrics such as events/op are picked up when present but are
+// never required — writes a JSON report alongside the recorded
+// baseline from the previous PR's report (BENCH_4), and exits non-zero
+// when a benchmark with a budget exceeds its allocs/op ceiling or its
+// events/op ceiling. An events/op budget is only enforced when the run
+// actually emitted the metric, so benchmarks that do not report it
+// cannot trip the guard.
 //
-// Budgets default to the table below (set from the post-rewrite
-// steady state with generous slack); override per benchmark with
-// -max-allocs 'BenchmarkSingleRun=10000,BenchmarkSweep=200000'.
+// Budgets default to the tables below; override per benchmark with
+// -max-allocs 'BenchmarkSingleRun=10000' and
+// -max-events 'BenchmarkSingleRun=4500000'.
 package main
 
 import (
@@ -27,20 +33,33 @@ import (
 	"strings"
 )
 
-// preRewriteBaseline records BenchmarkSingleRun on the pre-PR tree
-// (container/heap event queue, per-call closures, delete-by-copy
-// controller queues), measured with -benchtime=3x. It is the fixed
-// reference the report's improvement ratios are computed against.
-var preRewriteBaseline = map[string]result{
-	"BenchmarkSingleRun": {NsPerOp: 4475591713, AllocsPerOp: 41896877, BytesPerOp: 1966664770},
+// bench4Baseline records BenchmarkSingleRun from results/BENCH_4.json —
+// the zero-allocation event-core tree this PR's coalescing fast paths
+// started from. The report's speedup and event-reduction ratios are
+// computed against it.
+var bench4Baseline = map[string]result{
+	"BenchmarkSingleRun": {
+		NsPerOp:     2487728979,
+		AllocsPerOp: 1167,
+		BytesPerOp:  153976,
+		Metrics:     map[string]float64{"events/op": 7537520},
+	},
 }
 
-// defaultBudgets are allocs/op ceilings: ~8x the observed post-rewrite
-// cost, and still >4000x below the pre-rewrite cost — loose enough for
-// noise and moderate feature growth, tight enough that reintroducing
-// per-event allocations trips the guard immediately.
+// defaultBudgets are allocs/op ceilings: ~8x the observed steady-state
+// cost — loose enough for noise and moderate feature growth, tight
+// enough that reintroducing per-event allocations trips the guard
+// immediately.
 var defaultBudgets = map[string]int64{
 	"BenchmarkSingleRun": 10_000,
+}
+
+// defaultEventBudgets are events/op ceilings, set just above the
+// coalesced steady state (~4.18M): losing a coalescing fast path — the
+// elided events quietly coming back — is a performance regression the
+// wall-clock numbers alone are too noisy to catch.
+var defaultEventBudgets = map[string]float64{
+	"BenchmarkSingleRun": 4_500_000,
 }
 
 type result struct {
@@ -51,11 +70,13 @@ type result struct {
 }
 
 type report struct {
-	Benchmarks map[string]result  `json:"benchmarks"`
-	Baseline   map[string]result  `json:"baseline"`
-	Budgets    map[string]int64   `json:"budgets_allocs_per_op"`
-	Improve    map[string]float64 `json:"speedup_vs_baseline,omitempty"`
-	Violations []string           `json:"violations"`
+	Benchmarks   map[string]result  `json:"benchmarks"`
+	Baseline     map[string]result  `json:"baseline"`
+	Budgets      map[string]int64   `json:"budgets_allocs_per_op"`
+	EventBudgets map[string]float64 `json:"budgets_events_per_op,omitempty"`
+	Improve      map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	EventsRatio  map[string]float64 `json:"events_reduction_vs_baseline,omitempty"`
+	Violations   []string           `json:"violations"`
 }
 
 // parseLine decodes one `go test -bench` result line, e.g.
@@ -63,7 +84,8 @@ type report struct {
 //	BenchmarkSingleRun-8   3   202072 ns/op   7537 events/op   12 B/op   3 allocs/op
 //
 // returning the benchmark name (GOMAXPROCS suffix stripped) and the
-// parsed result; ok is false for non-benchmark lines.
+// parsed result; ok is false for non-benchmark lines. Custom metric
+// columns are optional: a plain ns/op-only line parses fine.
 func parseLine(line string) (name string, r result, ok bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -116,10 +138,30 @@ func parseBudgets(spec string, into map[string]int64) error {
 	return nil
 }
 
+func parseEventBudgets(spec string, into map[string]float64) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			return fmt.Errorf("event budget %q is not name=events", part)
+		}
+		n, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("event budget %q: %v", part, err)
+		}
+		into[name] = n
+	}
+	return nil
+}
+
 func main() {
-	out := flag.String("out", "BENCH_4.json", "write the JSON benchmark report to this file")
+	out := flag.String("out", "BENCH_5.json", "write the JSON benchmark report to this file")
 	budgetSpec := flag.String("max-allocs", "",
 		"extra allocs/op budgets as 'Name=N,Name=N' (override or extend the defaults)")
+	eventSpec := flag.String("max-events", "",
+		"extra events/op budgets as 'Name=N,Name=N' (override or extend the defaults)")
 	flag.Parse()
 
 	budgets := make(map[string]int64, len(defaultBudgets))
@@ -130,13 +172,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memscale-benchguard:", err)
 		os.Exit(2)
 	}
+	eventBudgets := make(map[string]float64, len(defaultEventBudgets))
+	for k, v := range defaultEventBudgets {
+		eventBudgets[k] = v
+	}
+	if err := parseEventBudgets(*eventSpec, eventBudgets); err != nil {
+		fmt.Fprintln(os.Stderr, "memscale-benchguard:", err)
+		os.Exit(2)
+	}
 
 	rep := report{
-		Benchmarks: map[string]result{},
-		Baseline:   preRewriteBaseline,
-		Budgets:    budgets,
-		Improve:    map[string]float64{},
-		Violations: []string{},
+		Benchmarks:   map[string]result{},
+		Baseline:     bench4Baseline,
+		Budgets:      budgets,
+		EventBudgets: eventBudgets,
+		Improve:      map[string]float64{},
+		EventsRatio:  map[string]float64{},
+		Violations:   []string{},
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
@@ -146,8 +198,11 @@ func main() {
 			continue
 		}
 		rep.Benchmarks[name] = r
-		if base, have := preRewriteBaseline[name]; have && r.NsPerOp > 0 {
+		if base, have := bench4Baseline[name]; have && r.NsPerOp > 0 {
 			rep.Improve[name] = base.NsPerOp / r.NsPerOp
+			if be, ne := base.Metrics["events/op"], r.Metrics["events/op"]; be > 0 && ne > 0 {
+				rep.EventsRatio[name] = be / ne
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -169,6 +224,20 @@ func main() {
 				"%s allocated %d allocs/op, budget %d", name, r.AllocsPerOp, budget))
 		}
 	}
+	for name, budget := range eventBudgets {
+		r, ran := rep.Benchmarks[name]
+		if !ran {
+			continue
+		}
+		ev, reported := r.Metrics["events/op"]
+		if !reported {
+			continue // the metric is optional; absence is not a violation
+		}
+		if ev > budget {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"%s fired %.0f events/op, budget %.0f", name, ev, budget))
+		}
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -184,7 +253,7 @@ func main() {
 
 	if len(rep.Violations) > 0 {
 		for _, v := range rep.Violations {
-			fmt.Fprintln(os.Stderr, "memscale-benchguard: ALLOCATION REGRESSION:", v)
+			fmt.Fprintln(os.Stderr, "memscale-benchguard: BUDGET REGRESSION:", v)
 		}
 		os.Exit(1)
 	}

@@ -44,6 +44,22 @@ func TestParseLineRejectsNonBenchmarks(t *testing.T) {
 	}
 }
 
+func TestParseEventBudgets(t *testing.T) {
+	into := map[string]float64{"BenchmarkSingleRun": 4_500_000}
+	if err := parseEventBudgets("BenchmarkSingleRun=4000000, BenchmarkSweep=9e6", into); err != nil {
+		t.Fatal(err)
+	}
+	if into["BenchmarkSingleRun"] != 4_000_000 || into["BenchmarkSweep"] != 9e6 {
+		t.Errorf("event budgets = %v", into)
+	}
+	if err := parseEventBudgets("nonsense", into); err == nil {
+		t.Error("malformed spec must error")
+	}
+	if err := parseEventBudgets("Bench=abc", into); err == nil {
+		t.Error("non-numeric budget must error")
+	}
+}
+
 func TestParseBudgets(t *testing.T) {
 	into := map[string]int64{"BenchmarkSingleRun": 10_000}
 	if err := parseBudgets("BenchmarkSingleRun=500, BenchmarkSweep=2000", into); err != nil {

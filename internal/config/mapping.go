@@ -23,17 +23,53 @@ type AddressMapper struct {
 	banks       int
 	ranks       int
 	rows        int
+
+	// Shift/mask fast path, used when every dimension is a power of two
+	// (every stock configuration): Map then costs five mask-and-shift
+	// pairs instead of nine hardware divisions, which matters because it
+	// sits on the per-request hot path.
+	pow2                                bool
+	chSh, colSh, bankSh, rankSh         uint
+	chMask, colMask, bankMask, rankMask uint64
+	rowMask                             uint64
 }
 
 // NewAddressMapper builds a mapper for configuration c.
 func NewAddressMapper(c *Config) *AddressMapper {
-	return &AddressMapper{
+	m := &AddressMapper{
 		channels:    c.Channels,
 		linesPerRow: c.LinesPerRow(),
 		banks:       c.BanksPerRank,
 		ranks:       c.RanksPerChannel(),
 		rows:        c.RowsPerBank,
 	}
+	chSh, ok1 := log2(m.channels)
+	colSh, ok2 := log2(m.linesPerRow)
+	bankSh, ok3 := log2(m.banks)
+	rankSh, ok4 := log2(m.ranks)
+	rowSh, ok5 := log2(m.rows)
+	if ok1 && ok2 && ok3 && ok4 && ok5 {
+		m.pow2 = true
+		m.chSh, m.colSh, m.bankSh, m.rankSh = chSh, colSh, bankSh, rankSh
+		m.chMask = 1<<chSh - 1
+		m.colMask = 1<<colSh - 1
+		m.bankMask = 1<<bankSh - 1
+		m.rankMask = 1<<rankSh - 1
+		m.rowMask = 1<<rowSh - 1
+	}
+	return m
+}
+
+// log2 returns the exponent when n is a positive power of two.
+func log2(n int) (uint, bool) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	var s uint
+	for 1<<s < n {
+		s++
+	}
+	return s, true
 }
 
 // Lines returns the total number of distinct cache-line addresses the
@@ -47,6 +83,18 @@ func (m *AddressMapper) Lines() uint64 {
 // the configured capacity wrap around.
 func (m *AddressMapper) Map(line uint64) Location {
 	var loc Location
+	if m.pow2 {
+		loc.Channel = int(line & m.chMask)
+		line >>= m.chSh
+		loc.Col = int(line & m.colMask)
+		line >>= m.colSh
+		loc.Bank = int(line & m.bankMask)
+		line >>= m.bankSh
+		loc.Rank = int(line & m.rankMask)
+		line >>= m.rankSh
+		loc.Row = int(line & m.rowMask)
+		return loc
+	}
 	loc.Channel = int(line % uint64(m.channels))
 	line /= uint64(m.channels)
 	loc.Col = int(line % uint64(m.linesPerRow))

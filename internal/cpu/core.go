@@ -92,7 +92,19 @@ func (c *Core) beginSegment(now config.Time) {
 	if dur > 0 {
 		credit = 1
 	}
-	c.q.ScheduleBound(now+dur, c.onIssue, nil, credit, 0)
+	if now > c.q.Now() {
+		// Future-dated inline delivery: the controller's coalesced grant
+		// path (DESIGN.md §4g) calls dataReturned at grant time with the
+		// transfer's end time, having elided the completion event. The
+		// core state above is private until the quiesce horizon, so
+		// updating it early is invisible; the issue event, though, must
+		// keep the exact same-instant position the eager formulation's
+		// completion fire gave it, so its scheduling is deferred to the
+		// delivery instant.
+		c.q.ScheduleVia(now, now+dur, c.onIssue, nil, credit, 0)
+	} else {
+		c.q.ScheduleBound(now+dur, c.onIssue, nil, credit, 0)
+	}
 }
 
 // issueEvent is the bound form of issue: the access is read back from

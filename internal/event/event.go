@@ -56,9 +56,12 @@ func entryLess(a, b entry) bool {
 	return a.seq < b.seq
 }
 
-// node is one pooled event. pos is the node's current heap position
-// (-1 when free or fired); gen increments every time the slot is
-// recycled, invalidating old handles.
+// node is one pooled event. pos records only whether the node is
+// pending (>= 0) or free/fired (-1) — the exact heap position is not
+// maintained, so sift moves are pure entry copies; the rare operations
+// that need a position (Cancel, EventAt) scan the small heap for the
+// node index instead. gen increments every time the slot is recycled,
+// invalidating old handles.
 type node struct {
 	fn   Handler
 	bfn  Bound
@@ -66,6 +69,27 @@ type node struct {
 	a, b int32
 	gen  uint32
 	pos  int32
+}
+
+// deferred is one lazily materialized schedule (see ScheduleVia): at
+// the activation point — among same-instant events, exactly where the
+// ticket was positioned — the target callback is pushed onto the heap
+// with a fresh sequence number, as if a trampoline event had fired
+// there and scheduled it.
+type deferred struct {
+	activateAt config.Time
+	seq        uint64
+	fireAt     config.Time
+	bfn        Bound
+	env        any
+	a, b       int32
+}
+
+func deferredBefore(d *deferred, e entry) bool {
+	if d.activateAt != e.at {
+		return d.activateAt < e.at
+	}
+	return d.seq < e.seq
 }
 
 // Queue is the event priority queue and simulation clock.
@@ -77,21 +101,34 @@ type Queue struct {
 	now   config.Time
 	seq   uint64
 
+	// defers is a second 4-ary min-heap, keyed (activateAt, seq), of
+	// lazily materialized schedules. Entries migrate to the main heap
+	// when processing reaches their activation position.
+	defers []deferred
+
 	fired     uint64
 	scheduled uint64
+	coalesced uint64
+	firing    uint64 // seq of the event currently (or most recently) firing
 }
 
 // Now returns the current simulated time.
 func (q *Queue) Now() config.Time { return q.now }
 
-// Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.heap) }
+// Len returns the number of pending events, counting deferred
+// schedules that have not yet materialized.
+func (q *Queue) Len() int { return len(q.heap) + len(q.defers) }
 
 // Fired returns the number of events executed so far.
 func (q *Queue) Fired() uint64 { return q.fired }
 
 // ScheduledTotal returns the number of events ever scheduled.
 func (q *Queue) ScheduledTotal() uint64 { return q.scheduled }
+
+// Coalesced returns the number of trampoline events elided through
+// ScheduleVia — fires the eager formulation would have executed that
+// the deferred-schedule plane absorbed.
+func (q *Queue) Coalesced() uint64 { return q.coalesced }
 
 // PoolSize returns the number of node slots ever allocated — the
 // high-water mark of concurrently pending events.
@@ -135,6 +172,7 @@ func (q *Queue) add(at config.Time, fn Handler, bfn Bound, env any, a, b int32) 
 	idx := q.alloc()
 	n := &q.nodes[idx]
 	n.fn, n.bfn, n.env, n.a, n.b = fn, bfn, env, a, b
+	n.pos = 0
 	h := Handle{idx: idx, gen: n.gen}
 	q.heapPush(entry{at: at, seq: q.seq, idx: idx})
 	return h
@@ -158,6 +196,140 @@ func (q *Queue) ScheduleBound(at config.Time, fn Bound, env any, a, b int32) Han
 		panic("event: nil handler")
 	}
 	return q.add(at, nil, fn, env, a, b)
+}
+
+// Seq is a same-instant ordering ticket. ReserveSeq allocates the next
+// ticket without scheduling anything; ScheduleBoundSeq later turns the
+// ticket into a real event that fires among same-instant events exactly
+// where it would have fired had it been scheduled when the ticket was
+// taken. This lets a caller elide an almost-always-no-op event while
+// preserving the engine's deterministic same-instant FIFO order in the
+// rare case the event turns out to be needed.
+type Seq uint64
+
+// ReserveSeq consumes and returns the next schedule-order ticket.
+func (q *Queue) ReserveSeq() Seq {
+	q.seq++
+	return Seq(q.seq)
+}
+
+// FiringSeq returns the sequence number of the event currently (or
+// most recently) firing. A holder of a reserved ticket compares
+// against it to learn whether the ticket's same-instant position has
+// already been passed.
+func (q *Queue) FiringSeq() uint64 { return q.firing }
+
+// ScheduleBoundSeq schedules a pre-bound callback at time at, ordered
+// among same-instant events by the reserved ticket rather than by the
+// current schedule counter. Scheduling at the current instant is
+// allowed only when the ticket's position has not yet been passed
+// (seq greater than FiringSeq); the caller owns that guarantee — a
+// ticket whose position already fired would be silently late.
+func (q *Queue) ScheduleBoundSeq(at config.Time, seq Seq, fn Bound, env any, a, b int32) Handle {
+	if fn == nil {
+		panic("event: nil handler")
+	}
+	if at < q.now {
+		panic(fmt.Sprintf("event: reserved-seq scheduling at %v before now %v", at, q.now))
+	}
+	q.scheduled++
+	idx := q.alloc()
+	n := &q.nodes[idx]
+	n.fn, n.bfn, n.env, n.a, n.b = nil, fn, env, a, b
+	n.pos = 0
+	h := Handle{idx: idx, gen: n.gen}
+	q.heapPush(entry{at: at, seq: uint64(seq), idx: idx})
+	return h
+}
+
+// ScheduleVia is the deferred-schedule fast path: it is semantically
+// identical to scheduling, at activateAt, a trampoline event whose
+// only action is to schedule fn at fireAt — but the trampoline never
+// enters the event heap and never fires. The call consumes one
+// ordering ticket (the trampoline's schedule position); when queue
+// processing reaches the activation position — after every event that
+// precedes (activateAt, ticket) and before every event that follows
+// it — the target is pushed with a fresh sequence number, exactly the
+// number the eager trampoline's fire would have assigned. Same-instant
+// FIFO order is therefore preserved bit-exactly while the trampoline's
+// heap traffic, node, and callback dispatch disappear.
+//
+// The activation must not lie in the past. Deferred schedules cannot
+// be cancelled; use a real event when cancellation is needed.
+func (q *Queue) ScheduleVia(activateAt, fireAt config.Time, fn Bound, env any, a, b int32) {
+	if fn == nil {
+		panic("event: nil handler")
+	}
+	if activateAt < q.now {
+		panic(fmt.Sprintf("event: deferred activation at %v before now %v", activateAt, q.now))
+	}
+	if fireAt < activateAt {
+		panic(fmt.Sprintf("event: deferred fire at %v before activation %v", fireAt, activateAt))
+	}
+	q.seq++
+	q.coalesced++
+	q.deferPush(deferred{activateAt: activateAt, seq: q.seq, fireAt: fireAt, bfn: fn, env: env, a: a, b: b})
+}
+
+// ScheduleViaSeq is ScheduleVia with the activation position supplied
+// by a previously reserved ticket instead of a fresh one: the deferred
+// schedule activates exactly where an event scheduled with that ticket
+// would have fired, and the target then receives the next sequence
+// number at that point in processing order — the number the elided
+// event's own schedule call would have consumed. No ticket is taken at
+// call time; the caller already reserved it.
+func (q *Queue) ScheduleViaSeq(activateAt config.Time, seq Seq, fireAt config.Time, fn Bound, env any, a, b int32) {
+	if fn == nil {
+		panic("event: nil handler")
+	}
+	if activateAt < q.now {
+		panic(fmt.Sprintf("event: deferred activation at %v before now %v", activateAt, q.now))
+	}
+	if fireAt < activateAt {
+		panic(fmt.Sprintf("event: deferred fire at %v before activation %v", fireAt, activateAt))
+	}
+	q.coalesced++
+	q.deferPush(deferred{activateAt: activateAt, seq: uint64(seq), fireAt: fireAt, bfn: fn, env: env, a: a, b: b})
+}
+
+// CancelDeferred removes the deferred schedule holding the given
+// ticket before it materializes. It reports whether one was found; a
+// ticket whose activation position has already been passed is gone
+// from the plane and yields false.
+func (q *Queue) CancelDeferred(seq Seq) bool {
+	for i := range q.defers {
+		if q.defers[i].seq == uint64(seq) {
+			q.deferRemove(i)
+			return true
+		}
+	}
+	return false
+}
+
+// materializeDeferred pops the earliest deferred schedule and turns it
+// into a real pending event, assigning the next sequence number — the
+// one its trampoline's fire would have assigned at this exact point in
+// processing order.
+func (q *Queue) materializeDeferred() {
+	d := q.deferPop()
+	q.seq++
+	q.scheduled++
+	idx := q.alloc()
+	n := &q.nodes[idx]
+	n.fn, n.bfn, n.env, n.a, n.b = nil, d.bfn, d.env, d.a, d.b
+	n.pos = 0
+	q.heapPush(entry{at: d.fireAt, seq: q.seq, idx: idx})
+}
+
+// settleDeferred materializes every deferred schedule whose activation
+// position precedes the next pending event.
+func (q *Queue) settleDeferred() {
+	for len(q.defers) > 0 {
+		if len(q.heap) > 0 && !deferredBefore(&q.defers[0], q.heap[0]) {
+			break
+		}
+		q.materializeDeferred()
+	}
 }
 
 // After queues fn to run d after the current time.
@@ -194,11 +366,10 @@ func (q *Queue) Pending(h Handle) bool { return q.live(h) != nil }
 // EventAt returns the fire time of the pending event named by h, and
 // whether h still names a pending event.
 func (q *Queue) EventAt(h Handle) (config.Time, bool) {
-	n := q.live(h)
-	if n == nil {
+	if q.live(h) == nil {
 		return 0, false
 	}
-	return q.heap[n.pos].at, true
+	return q.heap[q.heapFind(h.idx)].at, true
 }
 
 // Cancel removes a pending event eagerly: the node leaves the heap and
@@ -208,11 +379,10 @@ func (q *Queue) EventAt(h Handle) (config.Time, bool) {
 // check guarantees a stale handle can never cancel the slot's next
 // occupant. It reports whether an event was actually cancelled.
 func (q *Queue) Cancel(h Handle) bool {
-	n := q.live(h)
-	if n == nil {
+	if q.live(h) == nil {
 		return false
 	}
-	q.heapRemove(int(n.pos))
+	q.heapRemove(q.heapFind(h.idx))
 	q.release(h.idx)
 	return true
 }
@@ -223,6 +393,11 @@ func (q *Queue) Cancel(h Handle) bool {
 // event may reuse the slot; the generation bump keeps old handles
 // inert.
 func (q *Queue) Step() bool {
+	// Inline settleDeferred's guard: the per-step common case (no
+	// deferred schedule due) must not pay a function call.
+	for len(q.defers) > 0 && (len(q.heap) == 0 || deferredBefore(&q.defers[0], q.heap[0])) {
+		q.materializeDeferred()
+	}
 	if len(q.heap) == 0 {
 		return false
 	}
@@ -231,6 +406,7 @@ func (q *Queue) Step() bool {
 	fn, bfn, env, a, b := n.fn, n.bfn, n.env, n.a, n.b
 	q.release(e.idx)
 	q.now = e.at
+	q.firing = e.seq
 	q.fired++
 	if bfn != nil {
 		bfn(e.at, env, a, b)
@@ -247,8 +423,20 @@ func (q *Queue) RunUntil(deadline config.Time) {
 	if deadline < q.now {
 		panic(fmt.Sprintf("event: RunUntil(%v) before now %v", deadline, q.now))
 	}
-	for len(q.heap) > 0 && q.heap[0].at <= deadline {
-		q.Step()
+	for {
+		if len(q.heap) > 0 && q.heap[0].at <= deadline {
+			q.Step()
+			continue
+		}
+		// With no fireable event left, deferred schedules activating
+		// within the deadline still migrate: their trampolines would
+		// have fired by now, and the targets they produce may
+		// themselves fire before the deadline.
+		if len(q.defers) > 0 && q.defers[0].activateAt <= deadline {
+			q.materializeDeferred()
+			continue
+		}
+		break
 	}
 	q.now = deadline
 }
@@ -267,13 +455,21 @@ func (q *Queue) Run(limit uint64) uint64 {
 	return n
 }
 
-// NextAt returns the timestamp of the next pending event and whether
-// one exists.
+// NextAt returns the timestamp of the next event to fire and whether
+// one exists. A deferred schedule counts at its fire time (its
+// activation alone executes nothing observable).
 func (q *Queue) NextAt() (config.Time, bool) {
-	if len(q.heap) == 0 {
-		return 0, false
+	ok := len(q.heap) > 0
+	at := config.Time(0)
+	if ok {
+		at = q.heap[0].at
 	}
-	return q.heap[0].at, true
+	for i := range q.defers {
+		if f := q.defers[i].fireAt; !ok || f < at {
+			at, ok = f, true
+		}
+	}
+	return at, ok
 }
 
 // The heap is 4-ary: parent of i is (i-1)/4, children are 4i+1..4i+4.
@@ -292,11 +488,9 @@ func (q *Queue) popRoot() entry {
 	root := q.heap[0]
 	n := len(q.heap) - 1
 	last := q.heap[n]
-	q.heap[n] = entry{}
-	q.heap = q.heap[:n]
+	q.heap = q.heap[:n] // entries hold no pointers; no need to zero
 	if n > 0 {
 		q.heap[0] = last
-		q.nodes[last.idx].pos = 0
 		q.siftDown(0)
 	}
 	return root
@@ -312,11 +506,137 @@ func (q *Queue) heapRemove(i int) {
 		return
 	}
 	q.heap[i] = last
-	q.nodes[last.idx].pos = int32(i)
 	q.siftDown(i)
 	if q.heap[i].idx == last.idx {
 		q.siftUp(i)
 	}
+}
+
+// heapFind scans for the heap position of the given node index. The
+// heap stays small (tens of entries), and only the cold paths — Cancel
+// and EventAt — need a position, so a scan beats maintaining per-node
+// positions on every sift move of the hot path.
+func (q *Queue) heapFind(idx int32) int {
+	for i := range q.heap {
+		if q.heap[i].idx == idx {
+			return i
+		}
+	}
+	panic("event: pending node missing from heap")
+}
+
+// The defers heap mirrors the main heap's 4-ary layout; entries are
+// self-contained values, so sifting moves no node bookkeeping.
+
+func (q *Queue) deferPush(d deferred) {
+	q.defers = append(q.defers, d)
+	h := q.defers
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !deferredLess(&d, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = d
+}
+
+func (q *Queue) deferPop() deferred {
+	h := q.defers
+	root := h[0]
+	n := len(h) - 1
+	d := h[n]
+	h[n] = deferred{} // drop the callback/env references
+	q.defers = h[:n]
+	h = q.defers
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if deferredLess(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !deferredLess(&h[m], &d) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	if n > 0 {
+		h[i] = d
+	}
+	return root
+}
+
+// deferRemove deletes the defers entry at heap position i.
+func (q *Queue) deferRemove(i int) {
+	h := q.defers
+	n := len(h) - 1
+	last := h[n]
+	h[n] = deferred{}
+	q.defers = h[:n]
+	if i == n {
+		return
+	}
+	h = q.defers
+	h[i] = last
+	// Restore the heap property in whichever direction the moved entry
+	// violates it.
+	q.deferSiftDown(i)
+	if h[i].seq == last.seq && h[i].activateAt == last.activateAt {
+		for i > 0 {
+			p := (i - 1) / 4
+			if !deferredLess(&h[i], &h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+}
+
+func (q *Queue) deferSiftDown(i int) {
+	h := q.defers
+	n := len(h)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if deferredLess(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !deferredLess(&h[m], &h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func deferredLess(a, b *deferred) bool {
+	if a.activateAt != b.activateAt {
+		return a.activateAt < b.activateAt
+	}
+	return a.seq < b.seq
 }
 
 func (q *Queue) siftUp(i int) {
@@ -328,11 +648,9 @@ func (q *Queue) siftUp(i int) {
 			break
 		}
 		h[i] = h[p]
-		q.nodes[h[i].idx].pos = int32(i)
 		i = p
 	}
 	h[i] = e
-	q.nodes[e.idx].pos = int32(i)
 }
 
 func (q *Queue) siftDown(i int) {
@@ -358,9 +676,7 @@ func (q *Queue) siftDown(i int) {
 			break
 		}
 		h[i] = h[m]
-		q.nodes[h[i].idx].pos = int32(i)
 		i = m
 	}
 	h[i] = e
-	q.nodes[e.idx].pos = int32(i)
 }

@@ -13,6 +13,7 @@ package memctrl
 
 import (
 	"fmt"
+	"math"
 
 	"memscale/internal/config"
 	"memscale/internal/dram"
@@ -35,6 +36,10 @@ type Request struct {
 	ready   config.Time // device data ready for the bus
 }
 
+// noDeferral is the defAts sentinel for a bank with no deferred close;
+// it compares after every real instant.
+const noDeferral = config.Time(math.MaxInt64)
+
 // bankID flattens (rank, bank) within one channel.
 type bankID int
 
@@ -46,6 +51,22 @@ type bank struct {
 	queue      reqRing // FIFO of reads waiting for this bank
 	wb         reqRing // FIFO of writebacks targeting this bank
 	dispatched bool    // a request occupies MC pipeline/bank/bus-wait
+
+	// Deferred auto-precharge close (DESIGN.md §4g): when a grant leaves
+	// the bank idle — or leaves it with a forced next dispatch — inside
+	// the quiesce horizon, the precharge-done event is elided.
+	// prechAt/prechSeq record the instant and the reserved ordering
+	// ticket of the event that would have fired; settleRank replays or
+	// materializes it on the rank's next touch. With defDispatch set,
+	// the elided event's dispatch of defReq (the unambiguous queue head)
+	// rides the deferred-schedule plane: its start-bank event
+	// materializes at the ticket's exact position, and settlement
+	// replays only the pop and the bookkeeping.
+	prechDeferred bool
+	defDispatch   bool
+	prechAt       config.Time
+	prechSeq      event.Seq
+	defReq        *Request
 }
 
 type channel struct {
@@ -55,9 +76,27 @@ type channel struct {
 	busFreeAt config.Time
 	busQueue  reqRing // bank-service-complete, waiting for the bus
 
+	// grantArmed tracks whether a bus-grant event is pending at
+	// busFreeAt. The grant event is armed lazily — only when a request
+	// is actually waiting for a busy bus — so the uncontended common
+	// case (the bus frees before the next request's data is ready)
+	// schedules no wakeup at all. grantSeq holds the ordering ticket
+	// reserved where the eager formulation scheduled its
+	// grant-at-busEnd event, so a lazily armed grant fires at exactly
+	// the same position among same-instant events. See DESIGN.md §4g.
+	grantArmed bool
+	grantSeq   event.Seq
+
 	busBusy config.Time // accumulated burst occupancy since last flush
 
 	outstanding []int // per bank: queued + dispatched requests
+
+	// defAts/defSeqs mirror banks[i].prechAt/prechSeq for banks holding
+	// a deferred close (noDeferral sentinel otherwise), packed flat so
+	// settleRank's earliest-deferral scan reads two cache lines instead
+	// of eight scattered bank structs.
+	defAts  []config.Time
+	defSeqs []uint64
 
 	timing      dram.Resolved // operating point of this channel
 	relocking   bool
@@ -77,9 +116,21 @@ type Controller struct {
 	mcBusFreq config.FreqMHz
 	mcTime    config.Time
 
+	ranksPerCh int // cached cfg.RanksPerChannel(), for the defGate index
+
 	// Per-rank dispatch bookkeeping for refresh/powerdown decisions.
 	dispatched [][]int // requests dispatched but not yet through the bus
 	pending    [][]int // requests queued or dispatched per rank
+	defPrech   [][]int // deferred precharge closes outstanding per rank
+
+	// defGate is a lower bound on the earliest prechAt among a rank's
+	// deferred closes (noDeferral when none are outstanding), flattened
+	// to [chIdx*ranksPerChannel+rankIdx] so settleRank's hot gate — a
+	// touch strictly before the bound settles nothing — is one load and
+	// one compare, and the wrapper stays inlineable. Removing a deferral
+	// may leave it stale-low; harmless, the next touch rescans and
+	// tightens it.
+	defGate []config.Time
 
 	counters Counters
 
@@ -89,6 +140,14 @@ type Controller struct {
 	// powerdown/refresh/relock events. Purely observational: no
 	// scheduling decision reads it.
 	tel *telemetry.Recorder
+
+	// quiesce is the coalescing horizon: the caller's promise that no
+	// external sampling (counter window, power flush, instruction
+	// readout) happens strictly before this time. Completions whose bus
+	// transfer ends at or before the horizon may be delivered inline at
+	// grant time instead of through a separate event — the closed-form
+	// fast path of DESIGN.md §4g. Zero disables every fast path.
+	quiesce config.Time
 
 	// reqFree recycles Request objects: every transaction that clears
 	// the bus returns its Request here, so the steady state allocates
@@ -116,6 +175,7 @@ func New(cfg *config.Config, q *event.Queue) *Controller {
 		mcBusFreq: config.MaxBusFreq,
 	}
 	c.mcTime = cfg.Timing.MCTime(config.MaxBusFreq)
+	c.ranksPerCh = cfg.RanksPerChannel()
 	c.onStartBank = c.startBankServiceEvent
 	c.onBusReady = c.busReadyEvent
 	c.onBankKick = c.bankKickEvent
@@ -129,16 +189,27 @@ func New(cfg *config.Config, q *event.Queue) *Controller {
 	c.ranks = make([][]*dram.Rank, cfg.Channels)
 	c.dispatched = make([][]int, cfg.Channels)
 	c.pending = make([][]int, cfg.Channels)
+	c.defPrech = make([][]int, cfg.Channels)
+	c.defGate = make([]config.Time, cfg.Channels*cfg.RanksPerChannel())
+	for i := range c.defGate {
+		c.defGate[i] = noDeferral
+	}
 	for chIdx := range c.channels {
 		ch := &channel{
 			banks:       make([]bank, banksPerChannel),
 			outstanding: make([]int, banksPerChannel),
+			defAts:      make([]config.Time, banksPerChannel),
+			defSeqs:     make([]uint64, banksPerChannel),
 			timing:      dram.Resolve(cfg.Timing, config.MaxBusFreq, c.devFreqFor(config.MaxBusFreq)),
+		}
+		for i := range ch.defAts {
+			ch.defAts[i] = noDeferral
 		}
 		c.channels[chIdx] = ch
 		c.ranks[chIdx] = make([]*dram.Rank, cfg.RanksPerChannel())
 		c.dispatched[chIdx] = make([]int, cfg.RanksPerChannel())
 		c.pending[chIdx] = make([]int, cfg.RanksPerChannel())
+		c.defPrech[chIdx] = make([]int, cfg.RanksPerChannel())
 		for r := range c.ranks[chIdx] {
 			c.ranks[chIdx][r] = dram.NewRank(cfg.BanksPerRank, &ch.timing)
 		}
@@ -195,6 +266,16 @@ func (c *Controller) DevFreq() config.FreqMHz { return c.channels[0].timing.DevF
 // SetTelemetry attaches a recorder. Pass nil to detach.
 func (c *Controller) SetTelemetry(tel *telemetry.Recorder) { c.tel = tel }
 
+// SetQuiesceHorizon declares that nothing outside the event queue will
+// observe controller or core state strictly before t: no counter
+// snapshot, power flush, or instruction readout. Until the horizon the
+// controller may collapse request completions into closed-form inline
+// updates rather than discrete events. The caller (the epoch loop)
+// must re-declare the horizon before each drain; it never moves
+// backwards within a run. Zero — the default — keeps every completion
+// on the fully event-driven path.
+func (c *Controller) SetQuiesceHorizon(t config.Time) { c.quiesce = t }
+
 // Counters returns a snapshot of the performance counters.
 func (c *Controller) Counters() Counters { return c.counters.Clone() }
 
@@ -224,10 +305,21 @@ func (c *Controller) putRequest(req *Request) {
 // data transfer completes; writebacks ignore done.
 func (c *Controller) Enqueue(now config.Time, line uint64, write bool, core int, done func(config.Time)) {
 	loc := c.mapper.Map(line)
-	req := c.getRequest()
-	*req = Request{Loc: loc, Write: write, Core: core, Done: done, Arrived: now}
+	c.settleRank(now, loc.Channel, loc.Rank, false)
 	ch := c.channels[loc.Channel]
 	b := c.bankID(loc.Rank, loc.Bank)
+	if bk := &ch.banks[b]; bk.defDispatch &&
+		(write || (bk.prechAt == now && uint64(bk.prechSeq) > c.q.FiringSeq())) {
+		// Two ways an arrival can invalidate the bank's deferred
+		// dispatch: a competing writeback un-forces the choice, and an
+		// arrival at the close instant — ahead of the elided event's
+		// ticket — dispatches the head itself (the bank is free at that
+		// instant), leaving the close with nothing to dispatch. Either
+		// way, put the decision back on a live event.
+		c.reviveDispatch(loc.Channel, b)
+	}
+	req := c.getRequest()
+	*req = Request{Loc: loc, Write: write, Core: core, Done: done, Arrived: now}
 	pc := &c.counters.PerChannel[loc.Channel]
 
 	// Section 3.1 accumulators: outstanding work seen by the arrival.
@@ -303,8 +395,22 @@ func (c *Controller) tryDispatch(now config.Time, chIdx int, b bankID) {
 		return // in service; FinishAccess will re-kick
 	}
 	if free > now {
-		// A precharge or refresh window is still closing; the events
-		// that set it re-kick dispatch, so nothing to do yet.
+		// A precharge or refresh window is still closing. An elided
+		// close that now has work can stay elided if the dispatch choice
+		// is forced — the arrival becomes the queue head the close will
+		// dispatch — by upgrading to a dispatching deferral; otherwise
+		// revive it so its firing re-decides live. Real events that set
+		// freeAt, and dispatching deferrals, re-kick on their own.
+		if bk := &ch.banks[b]; bk.prechDeferred && !bk.defDispatch {
+			if bk.queue.Len() > 0 && bk.wb.Len() == 0 {
+				bk.defDispatch = true
+				bk.defReq = bk.queue.Peek()
+				c.q.ScheduleViaSeq(bk.prechAt, bk.prechSeq, bk.prechAt+c.mcTime,
+					c.onStartBank, bk.defReq, int32(chIdx), int32(b))
+			} else {
+				c.materializePrecharge(bk, chIdx, rankIdx, b)
+			}
+		}
 		return
 	}
 	req := c.nextFor(ch, b)
@@ -332,6 +438,7 @@ func (c *Controller) startBankService(now config.Time, chIdx int, b bankID, req 
 		return
 	}
 	rankIdx := int(b) / c.cfg.BanksPerRank
+	c.settleRank(now, chIdx, rankIdx, false)
 	rank := c.ranks[chIdx][rankIdx]
 	ready, kind, pdExit := rank.StartAccess(now, int(b)%c.cfg.BanksPerRank, req.Loc.Row)
 
@@ -381,10 +488,22 @@ func (c *Controller) busReadyEvent(now config.Time, env any, a, _ int32) {
 // transfer-blocking behaviour of the Figure 4 queueing model.
 func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 	ch := c.channels[chIdx]
-	if ch.relocking || ch.busQueue.Len() == 0 || ch.busFreeAt > now {
+	if ch.relocking || ch.busQueue.Len() == 0 {
+		return
+	}
+	if ch.busFreeAt > now {
+		// The bus is busy and a request is waiting: arm the grant for
+		// the instant the bus frees, unless one is already pending. The
+		// reserved ticket puts it exactly where the eager formulation's
+		// unconditional grant event would have fired.
+		if !ch.grantArmed {
+			ch.grantArmed = true
+			c.q.ScheduleBoundSeq(ch.busFreeAt, ch.grantSeq, c.onGrantBus, nil, int32(chIdx), 0)
+		}
 		return
 	}
 	req := ch.busQueue.Pop()
+	c.settleRank(now, chIdx, req.Loc.Rank, false)
 
 	busStart := now
 	busEnd := busStart + ch.timing.Burst
@@ -430,12 +549,60 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 
 	if keepOpen {
 		c.q.ScheduleBound(busEnd, c.onBankKick, nil, int32(chIdx), int32(b))
+	} else if c.tel == nil && prechargeDone <= c.quiesce && ch.outstanding[b] == 0 {
+		// Deferred precharge close: the bank has no queued work, so the
+		// event's only effects would be the row close (a pure state
+		// transition at a known time) and the powerdown check. Elide the
+		// event, reserving its ordering ticket; the rank's next touch
+		// settles it retroactively, or revives it as a real event if
+		// work arrives before the instant passes. Inside the quiesce
+		// horizon nothing samples the rank before settlement, and with
+		// no telemetry attached no observer sees the transition late.
+		bk := &ch.banks[b]
+		bk.prechDeferred = true
+		bk.prechAt = prechargeDone
+		bk.prechSeq = c.q.ReserveSeq()
+		ch.defAts[b] = prechargeDone
+		ch.defSeqs[b] = uint64(bk.prechSeq)
+		c.deferAdded(chIdx, rankIdx, prechargeDone)
+	} else if bk := &ch.banks[b]; c.tel == nil && prechargeDone <= c.quiesce &&
+		bk.queue.Len() > 0 && bk.wb.Len() == 0 && !rank.RefreshBlocked() {
+		// Deferred dispatching precharge: reads are queued and no
+		// writeback competes, so the elided event's dispatch choice is
+		// forced — the queue head, whatever arrives later. The head's
+		// start-bank event rides the deferred-schedule plane, activating
+		// at the elided event's exact ticket position; settlement
+		// replays the row close, the pop, and the bookkeeping. A
+		// writeback arrival or a refresh obligation before the instant
+		// un-forces the choice and revives the real event instead.
+		bk.prechDeferred = true
+		bk.defDispatch = true
+		bk.prechAt = prechargeDone
+		bk.prechSeq = c.q.ReserveSeq()
+		bk.defReq = bk.queue.Peek()
+		ch.defAts[b] = prechargeDone
+		ch.defSeqs[b] = uint64(bk.prechSeq)
+		c.deferAdded(chIdx, rankIdx, prechargeDone)
+		c.q.ScheduleViaSeq(prechargeDone, bk.prechSeq, prechargeDone+c.mcTime,
+			c.onStartBank, bk.defReq, int32(chIdx), int32(b))
 	} else {
 		c.q.ScheduleBound(prechargeDone, c.onPrecharge, nil, int32(chIdx), int32(b))
 	}
 
 	if req.Done != nil && !req.Write {
-		c.q.Schedule(busEnd, req.Done)
+		if busEnd <= c.quiesce {
+			// Closed-form completion: the transfer's end time is already
+			// known, and inside the quiesce horizon nobody can observe
+			// the core before busEnd, so deliver the data inline instead
+			// of scheduling a wakeup. The callback begins the core's next
+			// compute segment, whose issue event consumes the one
+			// ordering ticket the eager formulation spent right here —
+			// so every event scheduled between now and busEnd keeps its
+			// exact same-instant position.
+			req.Done(busEnd)
+		} else {
+			c.q.Schedule(busEnd, req.Done)
+		}
 	}
 
 	// The transaction is through: recycle its Request. Everything that
@@ -445,13 +612,28 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 
 	c.refreshKick(now, chIdx, rankIdx)
 
-	// The bus frees at busEnd; grant the next ready request then.
-	c.q.ScheduleBound(busEnd, c.onGrantBus, nil, int32(chIdx), 0)
+	// The bus frees at busEnd; if another request is already waiting,
+	// grant it then. With an empty queue no event is scheduled — only
+	// the ordering ticket is taken, so that a request becoming ready
+	// mid-burst can arm the grant from its busReadyEvent at the exact
+	// same-instant position, while one that becomes ready after busEnd
+	// takes the free bus immediately with no wakeup at all.
+	// Exactly one ordering ticket is consumed per grant either way, so
+	// the schedule counter — and with it every same-instant FIFO
+	// tie-break downstream — advances in lockstep with the eager
+	// formulation.
+	if ch.busQueue.Len() > 0 && !ch.grantArmed {
+		ch.grantArmed = true
+		c.q.ScheduleBound(busEnd, c.onGrantBus, nil, int32(chIdx), 0)
+	} else {
+		ch.grantSeq = c.q.ReserveSeq()
+	}
 }
 
 // bankKickEvent re-attempts dispatch on one bank (after a kept-open row
 // finished its burst).
 func (c *Controller) bankKickEvent(now config.Time, _ any, a, b int32) {
+	c.settleRank(now, int(a), int(b)/c.cfg.BanksPerRank, false)
 	c.tryDispatch(now, int(a), bankID(b))
 }
 
@@ -460,13 +642,152 @@ func (c *Controller) bankKickEvent(now config.Time, _ any, a, b int32) {
 func (c *Controller) prechargeEvent(now config.Time, _ any, a, b int32) {
 	chIdx, bk := int(a), bankID(b)
 	rankIdx := int(bk) / c.cfg.BanksPerRank
+	c.settleRank(now, chIdx, rankIdx, false)
 	c.ranks[chIdx][rankIdx].PrechargeDone(now, int(bk)%c.cfg.BanksPerRank)
 	c.tryDispatch(now, chIdx, bk)
 	c.maybePowerdown(now, chIdx, rankIdx)
 }
 
+// settleRank applies any deferred precharge closes for a rank whose
+// instant has been reached, exactly as the elided events would have,
+// in the (time, ticket) order those events would have fired in. It is
+// called at the top of every path that reads or mutates rank state or
+// the rank's pending/dispatched bookkeeping, so between a deferred
+// instant and its settlement the rank is provably untouched and the
+// retroactive evaluation sees exactly the state the event would have
+// seen. boundary is true when settling at a drain deadline
+// (FlushInterval), where every event at the deadline has already
+// fired, so deferred work due exactly now is retroactive rather than
+// still pending in the queue.
+// deferAdded records a new deferred close for the rank, tightening the
+// earliest-instant bound.
+func (c *Controller) deferAdded(chIdx, rankIdx int, at config.Time) {
+	g := chIdx*c.cfg.RanksPerChannel() + rankIdx
+	if at < c.defGate[g] {
+		c.defGate[g] = at
+	}
+	c.defPrech[chIdx][rankIdx]++
+}
+
+// settleRank settles every deferred close of the rank that is due at or
+// before now; the inlineable gate makes the no-deferral-due common case
+// a single compare at each rank-touch site.
+func (c *Controller) settleRank(now config.Time, chIdx, rankIdx int, boundary bool) {
+	if c.defGate[chIdx*c.ranksPerCh+rankIdx] > now {
+		return
+	}
+	c.settleRankSlow(now, chIdx, rankIdx, boundary)
+}
+
+func (c *Controller) settleRankSlow(now config.Time, chIdx, rankIdx int, boundary bool) {
+	ch := c.channels[chIdx]
+	base := rankIdx * c.cfg.BanksPerRank
+	for c.defPrech[chIdx][rankIdx] > 0 {
+		best := base
+		bestAt := ch.defAts[base]
+		for i := base + 1; i < base+c.cfg.BanksPerRank; i++ {
+			if at := ch.defAts[i]; at < bestAt ||
+				(at == bestAt && ch.defSeqs[i] < ch.defSeqs[best]) {
+				best, bestAt = i, at
+			}
+		}
+		b := bankID(best)
+		bk := &ch.banks[b]
+		if bk.prechAt > now {
+			c.defGate[chIdx*c.ranksPerCh+rankIdx] = bk.prechAt // exact again
+			return // still in the future; revival on arrival handles it
+		}
+		if !boundary && bk.prechAt == now && uint64(bk.prechSeq) > c.q.FiringSeq() {
+			if bk.defDispatch {
+				// The dispatching close fires later this instant; its
+				// start-bank activation is still queued in the deferred
+				// plane, and a later same-instant touch (at the latest,
+				// the start-bank fire itself) settles the bookkeeping.
+				return
+			}
+			// The elided event's same-instant position hasn't been passed
+			// yet: make it real so it fires in place.
+			c.materializePrecharge(bk, chIdx, rankIdx, b)
+			continue
+		}
+		// The instant is behind us: replay the close at its own
+		// timestamp. The rank was untouched since, so the retroactive
+		// evaluation sees exactly the state the event would have seen.
+		at := bk.prechAt
+		bk.prechDeferred = false
+		ch.defAts[b] = noDeferral
+		c.defPrech[chIdx][rankIdx]--
+		c.ranks[chIdx][rankIdx].PrechargeDone(at, int(b)%c.cfg.BanksPerRank)
+		if bk.defDispatch {
+			// Replay the forced dispatch: the head is popped and the
+			// bank marked busy; the start-bank event itself already
+			// materialized at the elided event's exact position.
+			bk.defDispatch = false
+			if popped := bk.queue.Pop(); popped != bk.defReq {
+				panic("memctrl: deferred dispatch head changed before settlement")
+			}
+			bk.defReq = nil
+			bk.dispatched = true
+			c.dispatched[chIdx][rankIdx]++
+		} else {
+			// The bank had no queued work at prechAt (an arrival would
+			// have settled or materialized first), so the elided event's
+			// dispatch attempt reduces to the powerdown check.
+			c.maybePowerdown(at, chIdx, rankIdx)
+		}
+	}
+	c.defGate[chIdx*c.ranksPerCh+rankIdx] = noDeferral
+}
+
+// materializePrecharge converts a deferred precharge close back into a
+// real event at its reserved (time, ticket) position.
+func (c *Controller) materializePrecharge(bk *bank, chIdx, rankIdx int, b bankID) {
+	bk.prechDeferred = false
+	c.channels[chIdx].defAts[b] = noDeferral
+	c.defPrech[chIdx][rankIdx]--
+	c.q.ScheduleBoundSeq(bk.prechAt, bk.prechSeq, c.onPrecharge, nil, int32(chIdx), int32(b))
+}
+
+// reviveDispatch converts a deferred dispatching close back into a real
+// precharge event: its forced-choice premise broke (a writeback arrived
+// for the bank, or the rank acquired a refresh obligation), so the
+// dispatch decision must be re-made live at the elided event's own
+// position. The start-bank activation is withdrawn from the deferred
+// plane; the revived event re-runs the full dispatch path.
+func (c *Controller) reviveDispatch(chIdx int, b bankID) {
+	ch := c.channels[chIdx]
+	bk := &ch.banks[b]
+	if !c.q.CancelDeferred(bk.prechSeq) {
+		panic("memctrl: deferred dispatch activation already materialized")
+	}
+	bk.prechDeferred = false
+	bk.defDispatch = false
+	bk.defReq = nil
+	ch.defAts[b] = noDeferral
+	c.defPrech[chIdx][int(b)/c.cfg.BanksPerRank]--
+	c.q.ScheduleBoundSeq(bk.prechAt, bk.prechSeq, c.onPrecharge, nil, int32(chIdx), int32(b))
+}
+
+// reviveRankDispatches revives every deferred dispatching close of a
+// rank. Called after settleRank on the refresh paths: a refresh
+// obligation blocks dispatch, so any not-yet-due forced dispatch must
+// be re-decided by a live event.
+func (c *Controller) reviveRankDispatches(chIdx, rankIdx int) {
+	if c.defPrech[chIdx][rankIdx] == 0 {
+		return
+	}
+	ch := c.channels[chIdx]
+	base := rankIdx * c.cfg.BanksPerRank
+	for i := 0; i < c.cfg.BanksPerRank; i++ {
+		if ch.banks[base+i].defDispatch {
+			c.reviveDispatch(chIdx, bankID(base+i))
+		}
+	}
+}
+
 // grantBusEvent grants the freed channel bus to the next ready request.
 func (c *Controller) grantBusEvent(now config.Time, _ any, a, _ int32) {
+	c.channels[int(a)].grantArmed = false
 	c.tryGrantBus(now, int(a))
 }
 
@@ -493,6 +814,8 @@ func (c *Controller) refreshTickEvent(now config.Time, _ any, a, b int32) {
 
 // refreshTimer fires every tREFI per rank.
 func (c *Controller) refreshTimer(now config.Time, chIdx, rankIdx int) {
+	c.settleRank(now, chIdx, rankIdx, false)
+	c.reviveRankDispatches(chIdx, rankIdx)
 	c.q.ScheduleBound(now+c.cfg.Timing.RefreshInterval(), c.onRefreshTick, nil, int32(chIdx), int32(rankIdx))
 	c.ranks[chIdx][rankIdx].SetRefreshPending()
 	c.refreshKick(now, chIdx, rankIdx)
@@ -520,6 +843,7 @@ func (c *Controller) refreshKick(now config.Time, chIdx, rankIdx int) {
 // decision.
 func (c *Controller) refreshDoneEvent(now config.Time, _ any, a, b int32) {
 	chIdx, rankIdx := int(a), int(b)
+	c.settleRank(now, chIdx, rankIdx, false)
 	c.ranks[chIdx][rankIdx].RefreshDone(now)
 	c.refreshKick(now, chIdx, rankIdx)
 	c.kickRank(now, chIdx, rankIdx)
@@ -551,7 +875,8 @@ func (c *Controller) FlushInterval(now config.Time) power.Interval {
 			Busy:    ch.busBusy,
 		}
 		ch.busBusy = 0
-		for _, rank := range c.ranks[chIdx] {
+		for rankIdx, rank := range c.ranks[chIdx] {
+			c.settleRank(now, chIdx, rankIdx, true)
 			slice.DRAM.Add(rank.Flush(now))
 		}
 		iv.Channels[chIdx] = slice
@@ -674,6 +999,8 @@ func (c *Controller) StallChannels(now config.Time, stall config.Time) {
 func (c *Controller) ForceRefresh(now config.Time) (marked int) {
 	for chIdx := range c.ranks {
 		for rankIdx, rank := range c.ranks[chIdx] {
+			c.settleRank(now, chIdx, rankIdx, false)
+			c.reviveRankDispatches(chIdx, rankIdx)
 			if rank.SetRefreshPending() {
 				marked++
 			}

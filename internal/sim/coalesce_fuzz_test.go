@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/faults"
+	"memscale/internal/trace"
+)
+
+// FuzzCoalescedPathEquivalence interleaves fast-path (quiet, forced
+// dispatch) and contended request patterns with refresh storms from
+// the fault plane, and checks the coalescing contract on every input:
+// the run must not panic, and the coalesced run must be equivalent to
+// the pure event-driven run request for request — identical MC
+// counters (every request saw the same bank state, queue depth, and
+// row-buffer outcome), identical per-core CPI, energy, and residency.
+//
+// The fuzzed bytes steer the workload shape (miss rates, locality,
+// phase lengths), the powerdown mode, and the storm schedule; the
+// trace generator's own validation rejects out-of-range rates, so the
+// clamps below only keep the inputs in interesting territory.
+func FuzzCoalescedPathEquivalence(f *testing.F) {
+	f.Add(uint64(1), 30.0, 0.2, 8.0, 0.7, uint8(0), uint8(1))
+	f.Add(uint64(42), 55.0, 0.0, 20.0, 0.2, uint8(1), uint8(3))
+	f.Add(uint64(7), 5.0, 4.9, 0.1, 0.95, uint8(2), uint8(0))
+
+	f.Fuzz(func(t *testing.T, seed uint64, burstMPKI, idleMPKI, wbFrac, rowLoc float64,
+		pdMode, storms uint8) {
+
+		clamp := func(v, lo, hi float64) float64 {
+			if math.IsNaN(v) || v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		burstMPKI = clamp(burstMPKI, 1, 80)
+		idleMPKI = clamp(idleMPKI, 0.01, 5)
+		rowLoc = clamp(rowLoc, 0, 0.99) // RowLocality lives in [0,1)
+		wbFrac = clamp(wbFrac, 0, 1)
+
+		cfg := config.Default()
+		cfg.Cores = 2
+		cfg.Policy.EpochLength = 2 * config.Millisecond
+		cfg.Powerdown = []config.PowerdownMode{
+			config.PowerdownNone, config.PowerdownFast, config.PowerdownSlow,
+		}[int(pdMode)%3]
+
+		profile := trace.Profile{Name: "fuzz", Phases: []trace.Phase{
+			{Instructions: 10_000 + seed%50_000, BaseCPI: 1, MPKI: burstMPKI,
+				WPKI: burstMPKI * wbFrac, RowLocality: rowLoc},
+			{Instructions: 40_000, BaseCPI: 0.7, MPKI: idleMPKI,
+				WPKI: idleMPKI * wbFrac, RowLocality: rowLoc},
+			{BaseCPI: 1, MPKI: burstMPKI / 2, WPKI: burstMPKI / 2 * wbFrac,
+				RowLocality: 0.99 - rowLoc},
+		}}
+		profiles := make([]trace.Profile, cfg.Cores)
+		for i := range profiles {
+			profiles[i] = profile
+		}
+
+		// A storm schedule that actually fires inside two epochs: the
+		// fuzzed byte picks burst depth, the rate is pinned high.
+		fc := faults.Config{
+			Seed:               seed,
+			RefreshStormRate:   1,
+			RefreshStormBursts: 1 + int(storms)%4,
+		}
+
+		run := func(disable bool) (Result, interface{}) {
+			inj, err := faults.New(fc, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(cfg, buildStreams(t, &cfg, profiles, seed), Options{
+				Governor:          &ladderGovernor{},
+				Faults:            inj,
+				DisableCoalescing: disable,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := s.RunFor(2 * cfg.Policy.EpochLength)
+			return res, s.MC.Counters()
+		}
+
+		coalesced, fastCtr := run(false)
+		eventDriven, slowCtr := run(true)
+
+		requireSameResult(t, coalesced, eventDriven)
+		if !reflect.DeepEqual(fastCtr, slowCtr) {
+			t.Errorf("MC counters diverged:\ncoalesced:    %+v\nevent-driven: %+v",
+				fastCtr, slowCtr)
+		}
+		if coalesced.Faults != eventDriven.Faults {
+			t.Errorf("fault counts diverged: %+v != %+v",
+				coalesced.Faults, eventDriven.Faults)
+		}
+		if coalesced.Events > eventDriven.Events {
+			t.Errorf("coalesced run fired %d events, more than event-driven %d",
+				coalesced.Events, eventDriven.Events)
+		}
+	})
+}

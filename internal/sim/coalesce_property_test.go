@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/dram"
+	"memscale/internal/telemetry"
+	"memscale/internal/trace"
+)
+
+// ladderGovernor walks the bus-frequency ladder one step per epoch,
+// wrapping around. It is deliberately trivial — the property tests
+// need frequency transitions (each one relocks the DLL and reshapes
+// idle intervals under the coalescing horizon), not a smart policy.
+type ladderGovernor struct{ i int }
+
+func (g *ladderGovernor) Name() string { return "ladder" }
+
+func (g *ladderGovernor) ProfileComplete(Profile) config.FreqMHz {
+	f := config.BusFrequencies[g.i%len(config.BusFrequencies)]
+	g.i++
+	return f
+}
+
+func (g *ladderGovernor) EpochEnd(Profile) {}
+
+// randomInterleaving draws a per-core profile that alternates bursty
+// traffic with near-idle stretches — the adversarial input for idle
+// coalescing, since every burst/idle boundary forces deferred
+// precharges, powerdowns, and refreshes to settle retroactively.
+func randomInterleaving(rng *rand.Rand, core int) trace.Profile {
+	n := 3 + rng.Intn(4)
+	phases := make([]trace.Phase, n)
+	for i := range phases {
+		if i%2 == 0 {
+			// Bursty: heavy miss traffic, mixed locality.
+			mpki := 15 + 45*rng.Float64()
+			phases[i] = trace.Phase{
+				Instructions: 20_000 + uint64(rng.Intn(60_000)),
+				BaseCPI:      0.8 + 0.7*rng.Float64(),
+				MPKI:         mpki,
+				WPKI:         mpki * (0.2 + 0.4*rng.Float64()),
+				RowLocality:  0.3 + 0.6*rng.Float64(),
+			}
+		} else {
+			// Near-idle: long compute stretches with rare misses, so
+			// ranks go quiet and the coalesced paths own the timeline.
+			mpki := 0.6 * rng.Float64()
+			phases[i] = trace.Phase{
+				Instructions: 50_000 + uint64(rng.Intn(150_000)),
+				BaseCPI:      0.5 + 0.5*rng.Float64(),
+				MPKI:         mpki,
+				WPKI:         mpki * rng.Float64(),
+				RowLocality:  rng.Float64(),
+			}
+		}
+	}
+	return trace.Profile{Name: fmt.Sprintf("rand-core%d", core), Phases: phases}
+}
+
+// buildStreams materializes fresh streams for one run. Streams are
+// stateful (they advance as the simulation consumes them), so every
+// run under comparison must rebuild from the same profiles and seeds.
+func buildStreams(t *testing.T, cfg *config.Config, profiles []trace.Profile, seed uint64) []*trace.Stream {
+	t.Helper()
+	mapper := config.NewAddressMapper(cfg)
+	streams := make([]*trace.Stream, len(profiles))
+	for i, p := range profiles {
+		s, err := trace.NewStream(p, mapper, seed+uint64(i)*0x9e3779b97f4a7c15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = s
+	}
+	return streams
+}
+
+func runCase(t *testing.T, cfg config.Config, profiles []trace.Profile, seed uint64, opts Options) Result {
+	t.Helper()
+	s, err := New(cfg, buildStreams(t, &cfg, profiles, seed), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.RunFor(2 * cfg.Policy.EpochLength)
+}
+
+func f64bitsEq(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("%s: coalesced %v (%#x) != event-driven %v (%#x)",
+			what, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func accountEq(t *testing.T, what string, got, want dram.Account) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s residency diverged:\ncoalesced:    %+v\nevent-driven: %+v", what, got, want)
+	}
+}
+
+// requireSameResult asserts bit-identity of every externally visible
+// run outcome: energy breakdown, per-core CPI and instruction counts,
+// DRAM state residency, and the time-at-frequency histogram.
+func requireSameResult(t *testing.T, a, b Result) {
+	t.Helper()
+	if a.Duration != b.Duration {
+		t.Errorf("Duration %v != %v", a.Duration, b.Duration)
+	}
+	f64bitsEq(t, "Memory.Background", a.Memory.Background, b.Memory.Background)
+	f64bitsEq(t, "Memory.ActPre", a.Memory.ActPre, b.Memory.ActPre)
+	f64bitsEq(t, "Memory.ReadWrite", a.Memory.ReadWrite, b.Memory.ReadWrite)
+	f64bitsEq(t, "Memory.Termination", a.Memory.Termination, b.Memory.Termination)
+	f64bitsEq(t, "Memory.Refresh", a.Memory.Refresh, b.Memory.Refresh)
+	f64bitsEq(t, "Memory.PLLReg", a.Memory.PLLReg, b.Memory.PLLReg)
+	f64bitsEq(t, "Memory.MC", a.Memory.MC, b.Memory.MC)
+	f64bitsEq(t, "NonMemEnergy", a.NonMemEnergy, b.NonMemEnergy)
+	if len(a.CPI) != len(b.CPI) {
+		t.Fatalf("CPI lengths %d != %d", len(a.CPI), len(b.CPI))
+	}
+	for i := range a.CPI {
+		f64bitsEq(t, fmt.Sprintf("CPI[%d]", i), a.CPI[i], b.CPI[i])
+		f64bitsEq(t, fmt.Sprintf("Instructions[%d]", i), a.Instructions[i], b.Instructions[i])
+	}
+	accountEq(t, "run", a.Residency, b.Residency)
+	if len(a.FreqTime) != len(b.FreqTime) {
+		t.Fatalf("FreqTime %v != %v", a.FreqTime, b.FreqTime)
+	}
+	for f, d := range a.FreqTime {
+		if b.FreqTime[f] != d {
+			t.Errorf("FreqTime[%v] %v != %v", f, d, b.FreqTime[f])
+		}
+	}
+}
+
+// TestCoalescingConservationProperty is the conservation property the
+// coalescing fast paths are built on: for random idle/traffic
+// interleavings, batched refresh/powerdown/completion accounting must
+// reconcile Float64bits-exactly with the pure event-driven path
+// (Options.DisableCoalescing), and with a telemetry-observed run —
+// telemetry pins the controller to the event-driven path, so it
+// doubles as a third witness. Residency is integer picoseconds, so
+// "exact" there is plain equality; energies and CPIs compare by
+// Float64bits. Powerdown modes and frequency transitions both vary
+// across cases to cover the batched accounting they trigger.
+func TestCoalescingConservationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test runs several paired simulations")
+	}
+	pdModes := []config.PowerdownMode{
+		config.PowerdownNone, config.PowerdownFast, config.PowerdownSlow,
+	}
+	for c := 0; c < 3; c++ {
+		c := c
+		t.Run(fmt.Sprintf("case%d", c), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(0xC0A1E5CE + int64(c)))
+			cfg := config.Default()
+			cfg.Cores = 4
+			cfg.Powerdown = pdModes[c%len(pdModes)]
+			profiles := make([]trace.Profile, cfg.Cores)
+			for i := range profiles {
+				profiles[i] = randomInterleaving(rng, i)
+			}
+			seed := rng.Uint64()
+
+			coalesced := runCase(t, cfg, profiles, seed,
+				Options{Governor: &ladderGovernor{}})
+			eventDriven := runCase(t, cfg, profiles, seed,
+				Options{Governor: &ladderGovernor{}, DisableCoalescing: true})
+			requireSameResult(t, coalesced, eventDriven)
+
+			// Third witness: a telemetry-attached run must agree with
+			// both, and its per-epoch residency columns must sum to
+			// the run total exactly (epochs tile the run).
+			rec := telemetry.NewRecorder(telemetry.Options{})
+			observed := runCase(t, cfg, profiles, seed,
+				Options{Governor: &ladderGovernor{}, Telemetry: rec})
+			requireSameResult(t, coalesced, observed)
+
+			var epochSum dram.Account
+			for _, ep := range rec.Epochs() {
+				epochSum.Add(ep.Residency)
+			}
+			accountEq(t, "epoch-sum", epochSum, observed.Residency)
+			accountEq(t, "recorder-rollup", rec.Residency(), observed.Residency)
+			if want := observed.Duration * config.Time(cfg.Channels*cfg.RanksPerChannel()); epochSum.Total() != want {
+				t.Errorf("epoch residency total %v != duration x ranks %v", epochSum.Total(), want)
+			}
+		})
+	}
+}

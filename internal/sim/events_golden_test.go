@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"os"
 	"testing"
 
 	"memscale/internal/config"
@@ -8,23 +9,37 @@ import (
 )
 
 // TestGoldenEventCounts pins the exact number of events fired and
-// scheduled over two baseline epochs, captured on the pre-rewrite
-// container/heap event core. The pooled flat-heap queue must schedule
-// and fire the identical event population — any drift means the
-// rewrite changed the simulated event sequence, not just its cost.
+// scheduled over two baseline epochs.
+//
+// Two-tier golden policy: the energy/CPI/residency goldens in the root
+// package's golden_test.go are FROZEN — coalescing fast paths must
+// reproduce them Float64bits-exactly, because eliding an event only
+// reorganizes when the same arithmetic runs. Event counts, by
+// contrast, are EXPECTED to change whenever a new fast path elides
+// more of the event population; they are pinned here only to catch
+// unintentional drift (an optimization accidentally scheduling more,
+// or a refactor silently changing the event sequence). After a
+// deliberate coalescing change, regenerate these counts with:
+//
+//	MEMSCALE_UPDATE_GOLDEN=1 go test -run TestGoldenEventCounts ./internal/sim/
+//
+// which prints the updated table entries instead of failing.
 func TestGoldenEventCounts(t *testing.T) {
+	update := os.Getenv("MEMSCALE_UPDATE_GOLDEN") != ""
 	golden := []struct {
 		mix              string
 		fired, scheduled uint64
 	}{
-		{"MEM1", 16540049, 16540085},
-		{"ILP1", 1556545, 1556578},
-		{"MID2", 6748782, 6748815},
+		{"MEM1", 9103919, 9103953},
+		{"ILP1", 810215, 810248},
+		{"MID2", 3521634, 3521667},
 	}
 	for _, g := range golden {
 		g := g
 		t.Run(g.mix, func(t *testing.T) {
-			t.Parallel()
+			if !update {
+				t.Parallel()
+			}
 			cfg := config.Default()
 			mix, err := workload.ByName(g.mix)
 			if err != nil {
@@ -39,6 +54,10 @@ func TestGoldenEventCounts(t *testing.T) {
 				t.Fatal(err)
 			}
 			res := s.RunFor(2 * cfg.Policy.EpochLength)
+			if update {
+				t.Logf("golden entry: {%q, %d, %d}", g.mix, s.Q.Fired(), s.Q.ScheduledTotal())
+				return
+			}
 			if s.Q.Fired() != g.fired {
 				t.Errorf("fired %d events, want %d", s.Q.Fired(), g.fired)
 			}

@@ -171,6 +171,14 @@ type Options struct {
 	// the simulated event sequence is bit-identical to a build without
 	// the fault plane.
 	Faults *faults.Injector
+
+	// DisableCoalescing forces every completion, refresh, and powerdown
+	// transition onto the fully event-driven slow path, firing one event
+	// per micro-step as the original formulation did. The coalesced fast
+	// paths are constructed to be bit-identical to this mode (the
+	// conservation property tests check exactly that), so the switch
+	// exists for differential testing and debugging, not correctness.
+	DisableCoalescing bool
 }
 
 // System is one fully wired simulated server.
@@ -303,6 +311,14 @@ const cancelCheckStep = 100 * config.Microsecond
 // behavior-identical: events still fire in timestamp order, and the
 // clock lands exactly on deadline.
 func (s *System) stepUntil(ctx context.Context, deadline config.Time) error {
+	if !s.opts.DisableCoalescing {
+		// Between here and the deadline nothing samples counters, power,
+		// or instruction state, so the controller may collapse
+		// completions into closed-form inline updates (DESIGN.md §4g).
+		// Cancellation is safe: an aborted run discards its partial
+		// result, so mid-chunk state is never observed either.
+		s.MC.SetQuiesceHorizon(deadline)
+	}
 	if ctx.Done() == nil {
 		// No cancellation possible (context.Background()): skip the
 		// chunking entirely.

@@ -290,3 +290,35 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		streams[i%len(streams)].Next()
 	}
 }
+
+// BenchmarkFleet measures cluster-scale throughput: 64 nodes (each a
+// full paired simulation) under a tight global power budget with the
+// coordinator reassigning caps every epoch. events/op counts the
+// simulation events fired across the whole fleet (managed runs plus
+// baselines), so the guard catches both per-node engine regressions
+// and fleet-orchestration overhead that would show up as lost
+// parallel efficiency.
+func BenchmarkFleet(b *testing.B) {
+	b.ReportAllocs()
+	fc := FleetConfig{
+		Groups: []NodeGroup{
+			{Name: "web", Nodes: 48, Mix: "MID1", Cores: 2, Channels: 1,
+				Arrival: ArrivalConfig{Kind: ArrivalPoisson}},
+			{Name: "batch", Nodes: 16, Mix: "MEM1", Cores: 2, Channels: 1,
+				Arrival: ArrivalConfig{Kind: ArrivalBursty}},
+		},
+		Epochs:       2,
+		PowerBudgetW: 320,
+		Seed:         1,
+	}
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		sum, err := RunFleet(context.Background(), fc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += sum.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(64, "nodes/op")
+}

@@ -52,6 +52,9 @@ var bench4Baseline = map[string]result{
 // immediately.
 var defaultBudgets = map[string]int64{
 	"BenchmarkSingleRun": 10_000,
+	// 64-node fleet: ~27k allocs steady state (fleet orchestration is
+	// per-node, not per-event); ~8x headroom.
+	"BenchmarkFleet": 200_000,
 }
 
 // defaultEventBudgets are events/op ceilings, set just above the
@@ -60,6 +63,9 @@ var defaultBudgets = map[string]int64{
 // wall-clock numbers alone are too noisy to catch.
 var defaultEventBudgets = map[string]float64{
 	"BenchmarkSingleRun": 4_500_000,
+	// 64 paired node runs x 2 epochs fire ~63M events; the ceiling
+	// trips if the coalescing fast paths regress fleet-wide.
+	"BenchmarkFleet": 70_000_000,
 }
 
 type result struct {

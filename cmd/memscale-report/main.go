@@ -12,6 +12,12 @@
 //	memscale-report -residency fig7.csv -decisions dec.csv run.jsonl
 //	memscale-sim -mix MID3 -telemetry-out - | memscale-report -
 //
+// With -fleet the input is instead a fleet summary JSON (written by
+// memscale-fleet -json or WriteFleetSummary), and the fleet CSV flags
+// emit its per-node and cap-convergence tables:
+//
+//	memscale-report -fleet -fleet-nodes nodes.csv -fleet-caps caps.csv fleet.json
+//
 // A path of "-" reads stdin (input) or writes stdout (CSV flags).
 package main
 
@@ -30,6 +36,9 @@ func main() {
 	decisions := flag.String("decisions", "", "write the governor decision trace CSV to this path")
 	freq := flag.String("freq", "", "write the per-run frequency residency CSV to this path")
 	events := flag.String("events", "", "write the raw event trace CSV to this path")
+	fleetIn := flag.Bool("fleet", false, "treat inputs as fleet summary JSON (from memscale-fleet -json) instead of telemetry JSONL")
+	fleetNodes := flag.String("fleet-nodes", "", "write the fleet per-node outcome CSV to this path (requires -fleet)")
+	fleetCaps := flag.String("fleet-caps", "", "write the fleet cap-convergence trace CSV to this path (requires -fleet)")
 	quiet := flag.Bool("q", false, "suppress the human-readable summary")
 	flag.Parse()
 
@@ -37,6 +46,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memscale-report: no input files (use - for stdin)")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *fleetIn {
+		reportFleet(flag.Args(), *fleetNodes, *fleetCaps, *quiet)
+		return
+	}
+	if *fleetNodes != "" || *fleetCaps != "" {
+		fatal(fmt.Errorf("-fleet-nodes/-fleet-caps require -fleet"))
 	}
 
 	var exports []*memscale.TelemetryExport
@@ -72,6 +89,92 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// reportFleet handles -fleet mode: each input is one fleet summary
+// JSON; the CSV flags emit the first summary's tables and the digest
+// prints every loaded summary.
+func reportFleet(paths []string, nodesCSV, capsCSV string, quiet bool) {
+	var sums []memscale.FleetSummary
+	for _, path := range paths {
+		sum, err := loadFleet(path)
+		if err != nil {
+			fatal(err)
+		}
+		sums = append(sums, sum)
+	}
+
+	type view struct {
+		path  string
+		write func(io.Writer, memscale.FleetSummary) error
+	}
+	for _, v := range []view{
+		{nodesCSV, memscale.WriteFleetNodesCSV},
+		{capsCSV, memscale.WriteFleetCapsCSV},
+	} {
+		if v.path == "" {
+			continue
+		}
+		if err := emitFleet(v.path, sums[0], v.write); err != nil {
+			fatal(err)
+		}
+	}
+
+	if quiet {
+		return
+	}
+	for _, sum := range sums {
+		fmt.Printf("fleet: %d nodes, %d epochs, SER %.4f, CPI avg %+.2f%% p99 %+.2f%% p999 %+.2f%%\n",
+			sum.Nodes, sum.Epochs, sum.SER,
+			sum.AvgCPIIncrease*100, sum.P99CPIIncrease*100, sum.P999CPIIncrease*100)
+		if sum.BudgetW > 0 {
+			fmt.Printf("  budget %.1f W, drew %.1f W, %.1f%% of node-epochs constrained, %d cap decisions",
+				sum.BudgetW, sum.MemAvgPowerW, sum.ConstrainedFrac*100, len(sum.CapTrace))
+			if sum.Converged {
+				fmt.Printf(", converged at epoch %d", sum.ConvergedAtEpoch)
+			}
+			fmt.Println()
+		}
+		for _, g := range sum.Groups {
+			fmt.Printf("  group %-12s %4d nodes  SER %.4f  CPI avg %+.2f%% p99 %+.2f%%\n",
+				g.Name, g.Nodes, g.SER, g.AvgCPIIncrease*100, g.P99CPIIncrease*100)
+		}
+		if sum.DeadNodes > 0 {
+			fmt.Printf("  dead nodes: %d\n", sum.DeadNodes)
+		}
+	}
+}
+
+func loadFleet(path string) (memscale.FleetSummary, error) {
+	if path == "-" {
+		return memscale.ReadFleetSummary(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return memscale.FleetSummary{}, err
+	}
+	defer f.Close()
+	sum, err := memscale.ReadFleetSummary(f)
+	if err != nil {
+		return memscale.FleetSummary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return sum, nil
+}
+
+func emitFleet(path string, sum memscale.FleetSummary,
+	write func(io.Writer, memscale.FleetSummary) error) error {
+	if path == "-" {
+		return write(os.Stdout, sum)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, sum); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func load(path string) ([]*memscale.TelemetryExport, error) {

@@ -1,6 +1,7 @@
 package memscale_test
 
 import (
+	"context"
 	"fmt"
 
 	"memscale"
@@ -64,4 +65,36 @@ func ExamplePolicies() {
 	fmt.Println(memscale.Policies())
 	// Output:
 	// [Baseline Fast-PD Slow-PD Decoupled Static MemScale MemScale (MemEnergy) MemScale + Fast-PD]
+}
+
+// ExampleRunFleet simulates a small cluster under a global
+// memory-power budget: every node is a full paired MemScale run driven
+// by a Poisson arrival process, and a FastCap-style coordinator
+// redistributes the budget across nodes each epoch.
+func ExampleRunFleet() {
+	sum, err := memscale.RunFleet(context.Background(), memscale.FleetConfig{
+		Groups: []memscale.NodeGroup{{
+			Name:     "web",
+			Nodes:    4,
+			Mix:      "MID2",
+			Cores:    2,
+			Channels: 1,
+			Arrival:  memscale.ArrivalConfig{Kind: memscale.ArrivalPoisson},
+		}},
+		Epochs:       4,
+		PowerBudgetW: 110, // tight enough that the coordinator must cap
+		Seed:         1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nodes simulated:", sum.Nodes)
+	fmt.Println("fleet saves energy:", sum.SER < 1)
+	fmt.Println("budget respected:", !sum.BudgetExceeded)
+	fmt.Println("coordinator decided:", len(sum.CapTrace) > 0)
+	// Output:
+	// nodes simulated: 4
+	// fleet saves energy: true
+	// budget respected: true
+	// coordinator decided: true
 }

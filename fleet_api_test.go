@@ -1,0 +1,121 @@
+package memscale
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickFleet(workers int) FleetConfig {
+	return FleetConfig{
+		Groups: []NodeGroup{
+			{Name: "web", Nodes: 3, Mix: "ILP1", Cores: 2, Channels: 1,
+				Arrival: ArrivalConfig{Kind: ArrivalPoisson, UsersPerNode: 100, RequestsPerUserHz: 10}},
+			{Name: "cache", Nodes: 2, Mix: "MID2", Cores: 2, Channels: 1,
+				Arrival: ArrivalConfig{Kind: ArrivalDiurnal}},
+		},
+		Epochs:       4,
+		PowerBudgetW: 30,
+		Seed:         11,
+		Workers:      workers,
+	}
+}
+
+// TestRunFleetDeterministicAcrossWorkers is the public-API face of the
+// fleet determinism guarantee: the same FleetConfig produces a
+// bit-identical FleetSummary regardless of worker count.
+func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node fleet run")
+	}
+	a, errA := RunFleet(context.Background(), quickFleet(1))
+	b, errB := RunFleet(context.Background(), quickFleet(3))
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v / %v", errA, errB)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("summaries differ across worker counts:\n%s\nvs\n%s", ja, jb)
+	}
+	if math.Float64bits(a.SER) != math.Float64bits(b.SER) {
+		t.Errorf("SER bits differ: %v vs %v", a.SER, b.SER)
+	}
+}
+
+// TestFleetSummaryInterchange: the JSON and CSV views survive a full
+// write/read cycle and carry the rows memscale-report renders.
+func TestFleetSummaryInterchange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node fleet run")
+	}
+	sum, err := RunFleet(context.Background(), quickFleet(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFleetSummary(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFleetSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Nodes != sum.Nodes || back.SER != sum.SER || len(back.PerNode) != len(sum.PerNode) {
+		t.Errorf("round-trip mangled summary: %+v vs %+v", back, sum)
+	}
+
+	var nodes bytes.Buffer
+	if err := WriteFleetNodesCSV(&nodes, sum); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(nodes.String()), "\n")
+	if len(lines) != 1+sum.Nodes {
+		t.Errorf("nodes CSV has %d lines, want header + %d", len(lines), sum.Nodes)
+	}
+	if !strings.HasPrefix(lines[0], "node,group,") {
+		t.Errorf("nodes CSV header = %q", lines[0])
+	}
+
+	var caps bytes.Buffer
+	if err := WriteFleetCapsCSV(&caps, sum); err != nil {
+		t.Fatal(err)
+	}
+	capLines := strings.Split(strings.TrimSpace(caps.String()), "\n")
+	if len(capLines) != 1+len(sum.CapTrace) {
+		t.Errorf("caps CSV has %d lines, want header + %d", len(capLines), len(sum.CapTrace))
+	}
+}
+
+// TestRunFleetScale: a four-digit fleet builds, validates, and resolves
+// without touching the simulator (Validate + internal resolution only;
+// the full 1000-node run lives in BenchmarkFleet/cmd territory).
+func TestRunFleetScaleValidates(t *testing.T) {
+	fc := FleetConfig{
+		Groups: []NodeGroup{
+			{Name: "web", Nodes: 700, Mix: "MID1",
+				Arrival: ArrivalConfig{Kind: ArrivalDiurnal}},
+			{Name: "batch", Nodes: 300, Mix: "MEM2",
+				Arrival: ArrivalConfig{Kind: ArrivalBursty}},
+		},
+		PowerBudgetW: 20000,
+	}
+	if err := fc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := fc.internal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range c.Groups {
+		total += g.Nodes
+	}
+	if total != 1000 {
+		t.Errorf("resolved fleet has %d nodes, want 1000", total)
+	}
+}

@@ -36,7 +36,7 @@ func FuzzRunConfigValidate(f *testing.F) {
 				MaxRunRetries:      runRetries,
 			},
 		}
-		err := rc.validate()
+		err := rc.Validate()
 		if err != nil {
 			return
 		}

@@ -1,0 +1,238 @@
+// Package fleet scales the single-node MemScale simulation to a
+// cluster: N nodes, each a full discrete-event run, driven by
+// open-loop arrival processes and coordinated by a FastCap-style
+// cluster power capper that redistributes a global memory-power
+// budget every fleet epoch (DESIGN.md §4h).
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"memscale/internal/trace"
+)
+
+// ArrivalKind names an open-loop arrival process shape.
+type ArrivalKind string
+
+// The supported arrival processes. Every node derives its per-epoch
+// request-rate profile from per-user rates: the nominal offered load
+// is UsersPerNode x RequestsPerUserHz, and each epoch's realized load
+// is expressed as an intensity multiplier relative to that nominal,
+// which scales the node's effective memory pressure (trace
+// SetIntensity).
+const (
+	// ArrivalSteady offers exactly the nominal load every epoch
+	// (multiplier 1.0, bit-identical to an undriven node).
+	ArrivalSteady ArrivalKind = "steady"
+
+	// ArrivalPoisson draws each epoch's request count from a Poisson
+	// process at the nominal rate; relative fluctuation shrinks as
+	// UsersPerNode grows, exactly like real aggregated user traffic.
+	ArrivalPoisson ArrivalKind = "poisson"
+
+	// ArrivalBursty is a two-state Markov-modulated Poisson process:
+	// nodes flip between the nominal rate and BurstFactor times it,
+	// with geometric burst durations.
+	ArrivalBursty ArrivalKind = "bursty"
+
+	// ArrivalDiurnal modulates the Poisson rate by a sinusoid of
+	// amplitude DiurnalAmplitude over DiurnalPeriodEpochs, with a
+	// deterministic per-node phase offset (nodes in different
+	// "timezones" peak at different epochs).
+	ArrivalDiurnal ArrivalKind = "diurnal"
+)
+
+// ArrivalSpec configures one group's arrival process. The zero value
+// selects a steady nominal load.
+type ArrivalSpec struct {
+	Kind ArrivalKind
+
+	// UsersPerNode and RequestsPerUserHz set the nominal offered load
+	// (defaults 1000 users x 20 req/s). They matter in ratio terms:
+	// the product fixes the Poisson rate whose relative noise drives
+	// the intensity multipliers.
+	UsersPerNode      float64
+	RequestsPerUserHz float64
+
+	// BurstFactor is the bursty-state rate multiplier (default 4);
+	// BurstProbability the per-epoch chance of entering a burst
+	// (default 0.05); BurstMeanEpochs the mean burst length
+	// (default 5).
+	BurstFactor      float64
+	BurstProbability float64
+	BurstMeanEpochs  float64
+
+	// DiurnalAmplitude is the sinusoid's relative amplitude in [0, 1)
+	// (default 0.6); DiurnalPeriodEpochs its period (default: the
+	// fleet horizon, one full "day" per run).
+	DiurnalAmplitude    float64
+	DiurnalPeriodEpochs int
+}
+
+func (a ArrivalSpec) withDefaults(horizon int) ArrivalSpec {
+	if a.Kind == "" {
+		a.Kind = ArrivalSteady
+	}
+	if a.UsersPerNode == 0 {
+		a.UsersPerNode = 1000
+	}
+	if a.RequestsPerUserHz == 0 {
+		a.RequestsPerUserHz = 20
+	}
+	if a.BurstFactor == 0 {
+		a.BurstFactor = 4
+	}
+	if a.BurstProbability == 0 {
+		a.BurstProbability = 0.05
+	}
+	if a.BurstMeanEpochs == 0 {
+		a.BurstMeanEpochs = 5
+	}
+	if a.DiurnalAmplitude == 0 {
+		a.DiurnalAmplitude = 0.6
+	}
+	if a.DiurnalPeriodEpochs == 0 {
+		a.DiurnalPeriodEpochs = horizon
+	}
+	return a
+}
+
+// Validate rejects a degenerate arrival process. Failures name the
+// offending field in snake_case (burst_probability, ...), matching the
+// public API's field-path convention.
+func (a ArrivalSpec) Validate() error {
+	switch a.Kind {
+	case "", ArrivalSteady, ArrivalPoisson, ArrivalBursty, ArrivalDiurnal:
+	default:
+		return fmt.Errorf("kind: unknown arrival kind %q", a.Kind)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"users_per_node", a.UsersPerNode},
+		{"requests_per_user_hz", a.RequestsPerUserHz},
+		{"burst_factor", a.BurstFactor},
+		{"burst_probability", a.BurstProbability},
+		{"burst_mean_epochs", a.BurstMeanEpochs},
+		{"diurnal_amplitude", a.DiurnalAmplitude},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return fmt.Errorf("%s: must be finite and >= 0, got %g", f.name, f.v)
+		}
+	}
+	if a.BurstProbability > 1 {
+		return fmt.Errorf("burst_probability: must be in [0, 1], got %g", a.BurstProbability)
+	}
+	if a.DiurnalAmplitude >= 1 {
+		return fmt.Errorf("diurnal_amplitude: must be in [0, 1), got %g", a.DiurnalAmplitude)
+	}
+	if a.DiurnalPeriodEpochs < 0 {
+		return fmt.Errorf("diurnal_period_epochs: must be >= 0, got %d", a.DiurnalPeriodEpochs)
+	}
+	return nil
+}
+
+// Intensity multipliers are clamped to keep the scaled miss rate
+// inside the trace generator's sane range: a zero-request epoch still
+// simulates a trickle, and a pathological burst cannot drive the mean
+// gap to zero.
+const (
+	minIntensity = 0.05
+	maxIntensity = 20.0
+)
+
+// schedule precomputes the node's per-epoch intensity multipliers.
+// The sequence is a pure function of (seed, node, epochs) — workers,
+// wall clock, and sibling nodes never influence it — and the steady
+// kind returns exact 1.0 entries so an undriven fleet is bit-identical
+// to plain paired runs.
+func (a ArrivalSpec) schedule(seed uint64, node, epochs int, epochSeconds float64) []float64 {
+	out := make([]float64, epochs)
+	if a.Kind == ArrivalSteady {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	rng := trace.NewRNG(trace.Seed("fleet-arrival", int(seed), node))
+	lambda := a.UsersPerNode * a.RequestsPerUserHz * epochSeconds
+
+	// Per-node diurnal phase: a fixed fraction of the period, so the
+	// fleet's load peaks are staggered deterministically.
+	phase := rng.Float64() * float64(a.DiurnalPeriodEpochs)
+
+	bursting := false
+	for i := range out {
+		rate := 1.0
+		switch a.Kind {
+		case ArrivalBursty:
+			if bursting {
+				// Geometric burst duration with mean BurstMeanEpochs.
+				if rng.Float64() < 1/a.BurstMeanEpochs {
+					bursting = false
+				}
+			} else if rng.Float64() < a.BurstProbability {
+				bursting = true
+			}
+			if bursting {
+				rate = a.BurstFactor
+			}
+		case ArrivalDiurnal:
+			rate = 1 + a.DiurnalAmplitude*
+				math.Sin(2*math.Pi*(float64(i)+phase)/float64(a.DiurnalPeriodEpochs))
+		}
+		// Realized intensity = Poisson noise around the modulated rate,
+		// expressed relative to the nominal rate.
+		out[i] = clampIntensity(poissonIntensity(rng, lambda*rate) * rate)
+	}
+	return out
+}
+
+// poissonIntensity draws a Poisson count at the given rate and
+// normalizes it back to a multiplier of the rate (mean 1, variance
+// 1/rate). Degenerate rates yield exactly 1.
+func poissonIntensity(rng *trace.RNG, lambda float64) float64 {
+	if lambda <= 0 || math.IsInf(lambda, 0) {
+		return 1
+	}
+	return poisson(rng, lambda) / lambda
+}
+
+// poisson samples a Poisson(lambda) count: Knuth's product method for
+// small rates, a normal approximation (Box-Muller) beyond it. Both
+// paths consume rng deterministically.
+func poisson(rng *trace.RNG, lambda float64) float64 {
+	if lambda < 64 {
+		l := math.Exp(-lambda)
+		k, p := 0, 1.0
+		for p > l {
+			k++
+			p *= rng.Float64()
+		}
+		return float64(k - 1)
+	}
+	// Box-Muller normal approximation: N(lambda, lambda).
+	u1 := rng.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := rng.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	n := math.Round(lambda + z*math.Sqrt(lambda))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func clampIntensity(m float64) float64 {
+	switch {
+	case math.IsNaN(m), m < minIntensity:
+		return minIntensity
+	case m > maxIntensity:
+		return maxIntensity
+	}
+	return m
+}

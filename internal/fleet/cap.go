@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"memscale/internal/config"
+)
+
+// nodeObs is what the coordinator observed about one node over the
+// last fleet epoch: its measured memory-subsystem power, the frequency
+// that power was measured at, the frequency-independent fraction of
+// that power, and the frequency the node's governor wanted absent any
+// cap.
+type nodeObs struct {
+	alive     bool
+	measuredW float64        // average memory power over the window
+	measFreq  config.FreqMHz // applied frequency during the window
+	rho       float64        // frequency-independent power fraction
+	want      config.FreqMHz // governor's uncapped desire (WantFreq)
+}
+
+// estPower extrapolates the node's memory power to frequency f using
+// the FastCap linear model: the measured power splits into a
+// frequency-independent part (rho: background + refresh) and a part
+// proportional to frequency, so
+//
+//	P(f) = P_meas * (rho + (1-rho) * f/f_meas).
+func (o nodeObs) estPower(f config.FreqMHz) float64 {
+	if o.measFreq <= 0 || o.measuredW <= 0 {
+		return o.measuredW
+	}
+	return o.measuredW * (o.rho + (1-o.rho)*float64(f)/float64(o.measFreq))
+}
+
+// effFreq is the frequency node o would actually run under cap: its
+// own desire, ceiled.
+func (o nodeObs) effFreq(cap config.FreqMHz) config.FreqMHz {
+	if o.want < cap {
+		return o.want
+	}
+	return cap
+}
+
+// CapStep is one coordinator decision: the per-epoch convergence
+// trace exposed on the fleet summary.
+type CapStep struct {
+	// Epoch is the fleet epoch index the assignment takes effect at.
+	Epoch int `json:"epoch"`
+
+	// BudgetW is the global memory-power budget; MeasuredW the fleet's
+	// measured memory power over the window that fed this decision;
+	// EstimatedW the planner's estimate of fleet power under the new
+	// caps. DeficitW is how far the estimate exceeds the budget when
+	// even the lowest uniform level cannot fit (0 when the budget is
+	// met).
+	BudgetW    float64 `json:"budget_w"`
+	MeasuredW  float64 `json:"measured_w"`
+	EstimatedW float64 `json:"estimated_w"`
+	DeficitW   float64 `json:"deficit_w,omitempty"`
+
+	// UniformMHz is the water-filled uniform cap level; Promotions the
+	// ladder steps handed out from the leftover budget; Constrained
+	// the nodes whose desire exceeds their assigned cap; CapChanges
+	// the nodes whose cap differs from the previous assignment (0 on a
+	// converged epoch).
+	UniformMHz  int `json:"uniform_mhz"`
+	Promotions  int `json:"promotions"`
+	Constrained int `json:"constrained"`
+	CapChanges  int `json:"cap_changes"`
+}
+
+// planCaps assigns per-node frequency caps under the global budget,
+// FastCap style (arXiv 1603.01313): find the highest uniform ladder
+// level whose estimated fleet power fits the budget (water-filling —
+// nodes wanting less than the level only count at their desire), then
+// spend the leftover watts promoting constrained nodes one ladder step
+// at a time, in deterministic node order, until no further promotion
+// fits. Dead nodes draw no power and get no cap. prev is the previous
+// assignment (nil on the first decision) used to count cap churn.
+//
+// The returned caps are one per node (0 never appears: every live
+// node gets an explicit ceiling, MaxBusFreq meaning effectively
+// uncapped).
+func planCaps(epoch int, budget float64, obs []nodeObs, prev []config.FreqMHz) ([]config.FreqMHz, CapStep) {
+	ladder := config.BusFrequencies // highest first
+	caps := make([]config.FreqMHz, len(obs))
+
+	step := CapStep{Epoch: epoch, BudgetW: budget}
+	for _, o := range obs {
+		if o.alive {
+			step.MeasuredW += o.measuredW
+		}
+	}
+
+	// fleetPower estimates total power with every live node capped at
+	// level L (each node runs at min(L, want)).
+	fleetPower := func(L config.FreqMHz) float64 {
+		var sum float64
+		for _, o := range obs {
+			if o.alive {
+				sum += o.estPower(o.effFreq(L))
+			}
+		}
+		return sum
+	}
+
+	// Water-fill: highest uniform level that fits. Falls through to
+	// the lowest level when nothing fits (budget deficit).
+	uniform := ladder[len(ladder)-1]
+	for _, L := range ladder {
+		if fleetPower(L) <= budget {
+			uniform = L
+			break
+		}
+	}
+	est := fleetPower(uniform)
+	step.UniformMHz = int(uniform)
+	if est > budget {
+		step.DeficitW = est - budget
+	}
+	for i, o := range obs {
+		if o.alive {
+			caps[i] = uniform
+		}
+	}
+
+	// Greedy promotions: hand out the leftover watts one ladder step
+	// at a time, round-robin in node order so no node hogs the slack.
+	// Each promotion's incremental cost is the power delta between the
+	// node's effective frequency at its new vs old cap.
+	leftover := budget - est
+	if leftover > 0 {
+		for promoted := true; promoted; {
+			promoted = false
+			for i, o := range obs {
+				if !o.alive || o.want <= caps[i] {
+					continue // unconstrained: a higher cap changes nothing
+				}
+				next, ok := ladderAbove(caps[i])
+				if !ok {
+					continue
+				}
+				delta := o.estPower(o.effFreq(next)) - o.estPower(o.effFreq(caps[i]))
+				if delta > leftover {
+					continue
+				}
+				caps[i] = next
+				leftover -= delta
+				step.Promotions++
+				promoted = true
+			}
+		}
+		est = budget - leftover
+	}
+	step.EstimatedW = est
+
+	for i, o := range obs {
+		if !o.alive {
+			continue
+		}
+		if o.want > caps[i] {
+			step.Constrained++
+		}
+		if prev == nil || prev[i] != caps[i] {
+			step.CapChanges++
+		}
+	}
+	return caps, step
+}
+
+// ladderAbove returns the next ladder level above f.
+func ladderAbove(f config.FreqMHz) (config.FreqMHz, bool) {
+	ladder := config.BusFrequencies
+	for i := len(ladder) - 1; i > 0; i-- {
+		if ladder[i] == f {
+			return ladder[i-1], true
+		}
+	}
+	return 0, false
+}
+
+// rhoOf derives the frequency-independent fraction of a node's
+// measured memory power from its epoch energy breakdown: background
+// and refresh energy do not scale with the bus clock, the rest does.
+// Clamped away from the extremes so the estimator never degenerates.
+func rhoOf(background, refresh, total float64) float64 {
+	if total <= 0 {
+		return 0.5
+	}
+	rho := (background + refresh) / total
+	switch {
+	case rho < 0.05:
+		return 0.05
+	case rho > 0.95:
+		return 0.95
+	}
+	return rho
+}

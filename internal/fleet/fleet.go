@@ -1,0 +1,477 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"memscale/internal/config"
+	"memscale/internal/faults"
+	"memscale/internal/policies"
+	"memscale/internal/runner"
+	"memscale/internal/telemetry"
+	"memscale/internal/workload"
+)
+
+// GroupSpec describes one homogeneous slice of the fleet: Nodes
+// servers all running the same workload mix under the same policy and
+// arrival process.
+type GroupSpec struct {
+	Name  string
+	Nodes int
+
+	Mix  workload.Mix
+	Spec policies.Spec
+
+	// Gamma, Cores, Channels scale each node (zero selects the
+	// single-node defaults: 0.10, 16, 4).
+	Gamma           float64
+	Cores, Channels int
+
+	Arrival ArrivalSpec
+
+	// Faults, when non-nil, injects the disturbance plane into every
+	// node of the group, with per-node decorrelated schedules.
+	Faults *faults.Config
+}
+
+// Config drives one fleet run.
+type Config struct {
+	Groups []GroupSpec
+
+	// Epochs is the horizon in OS epochs per node (default 10).
+	Epochs int
+
+	// BudgetW is the global memory-power budget in watts shared by
+	// every node; 0 disables cluster capping (nodes run pure
+	// MemScale).
+	BudgetW float64
+
+	// CapEvery is the coordinator period in epochs (default 1: caps
+	// are reassigned at every OS epoch boundary).
+	CapEvery int
+
+	// Seed decorrelates traces, arrivals, and fault schedules across
+	// nodes while keeping the whole fleet reproducible.
+	Seed uint64
+
+	// Workers bounds node-level parallelism (0 = GOMAXPROCS). Results
+	// are bit-identical on any worker count.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.CapEvery == 0 {
+		c.CapEvery = 1
+	}
+	for i := range c.Groups {
+		if c.Groups[i].Gamma == 0 {
+			c.Groups[i].Gamma = 0.10
+		}
+	}
+	return c
+}
+
+// NodeSummary is one node's paired outcome.
+type NodeSummary struct {
+	Node  int    `json:"node"`
+	Group string `json:"group"`
+
+	MemoryEnergyJ float64 `json:"memory_energy_j"`
+	SystemEnergyJ float64 `json:"system_energy_j"`
+	BaselineSysJ  float64 `json:"baseline_system_energy_j"`
+	SER           float64 `json:"ser"`
+	CPIIncrease   float64 `json:"cpi_increase"`
+	MeanIntensity float64 `json:"mean_intensity"`
+	CappedEpochs  int     `json:"capped_epochs"`
+	FinalCapMHz   int     `json:"final_cap_mhz"`
+	Dead          bool    `json:"dead,omitempty"`
+	Err           string  `json:"error,omitempty"`
+}
+
+// GroupSummary rolls one group up.
+type GroupSummary struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+
+	SER            float64 `json:"ser"`
+	AvgCPIIncrease float64 `json:"avg_cpi_increase"`
+	P99CPIIncrease float64 `json:"p99_cpi_increase"`
+
+	// Rollup aggregates the group's per-node telemetry (totals,
+	// frequency residency) through the standard rollup machinery.
+	Rollup *telemetry.Rollup `json:"rollup,omitempty"`
+}
+
+// Summary is the fleet-level outcome.
+type Summary struct {
+	Nodes  int `json:"nodes"`
+	Epochs int `json:"epochs"`
+
+	// SER is the fleet system-energy ratio: total managed system
+	// energy over total baseline system energy (< 1 means the fleet
+	// saved energy; the paper's per-node SER generalized to the
+	// cluster).
+	SER float64 `json:"ser"`
+
+	// Tail CPI degradation across nodes (nearest-rank quantiles of
+	// the per-node CPI increase vs each node's own baseline).
+	AvgCPIIncrease  float64 `json:"avg_cpi_increase"`
+	P99CPIIncrease  float64 `json:"p99_cpi_increase"`
+	P999CPIIncrease float64 `json:"p999_cpi_increase"`
+
+	// Energy totals (joules).
+	MemoryEnergyJ float64 `json:"memory_energy_j"`
+	SystemEnergyJ float64 `json:"system_energy_j"`
+	BaselineSysJ  float64 `json:"baseline_system_energy_j"`
+
+	// MemAvgPowerW is the fleet-aggregate average memory power: total
+	// managed memory energy over the wall-clock span of the run (nodes
+	// run concurrently), directly comparable to BudgetW.
+	MemAvgPowerW    float64 `json:"mem_avg_power_w"`
+	BudgetW         float64 `json:"budget_w,omitempty"`
+	BudgetExceeded  bool    `json:"budget_exceeded,omitempty"`
+	ConstrainedFrac float64 `json:"constrained_frac"`
+
+	// CapTrace is the per-fleet-epoch coordinator trace; Converged
+	// reports whether the assignment reached a fixed point (a suffix
+	// of decisions with zero cap churn), and ConvergedAtEpoch the
+	// fleet epoch the fixed point was entered (-1 when never).
+	CapTrace         []CapStep `json:"cap_trace,omitempty"`
+	Converged        bool      `json:"converged"`
+	ConvergedAtEpoch int       `json:"converged_at_epoch"`
+
+	Groups  []GroupSummary `json:"groups"`
+	PerNode []NodeSummary  `json:"per_node,omitempty"`
+
+	// DeadNodes counts nodes lost to panics, faults, or timeouts; the
+	// survivors' statistics are still reported.
+	DeadNodes int `json:"dead_nodes,omitempty"`
+
+	// Events is the total simulation events fired across the fleet
+	// (managed runs plus baselines).
+	Events uint64 `json:"events"`
+}
+
+// Run executes the fleet: per-node paired baselines (parallel), then
+// the managed runs stepped in lockstep fleet epochs with the FastCap
+// coordinator redistributing the budget between steps. Deterministic:
+// the same Config yields a bit-identical Summary on any worker count —
+// parallelism is across nodes only, every reduction runs in node
+// order on the caller's goroutine, and the coordinator is serial.
+//
+// Node failures (injected panics, transient faults) kill only that
+// node: it is excluded from subsequent epochs and the tail statistics,
+// and its error is joined into the returned error alongside the valid
+// Summary (mirroring Sweep's partial-failure contract).
+func Run(ctx context.Context, c Config) (Summary, error) {
+	c = c.withDefaults()
+	nodes, err := buildNodes(c)
+	if err != nil {
+		return Summary{}, err
+	}
+	if len(nodes) == 0 {
+		return Summary{}, errors.New("fleet: no nodes configured")
+	}
+
+	// Phase 1: paired baselines, parallel across nodes. The baseline
+	// also calibrates each node's rest-of-system power, which the
+	// managed governor needs before it can be built.
+	baseErrs := runner.ForEach(ctx, c.Workers, len(nodes), func(ctx context.Context, i int) error {
+		return nodes[i].runBaseline(ctx)
+	}, nil)
+	for i, err := range baseErrs {
+		if err != nil {
+			nodes[i].dead, nodes[i].err = true, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Summary{}, err
+	}
+
+	// Phase 2: build the managed systems (cheap, serial).
+	for _, n := range nodes {
+		if n.dead {
+			continue
+		}
+		if err := n.buildManaged(); err != nil {
+			n.dead, n.err = true, err
+		}
+	}
+
+	// Phase 3: lockstep fleet epochs. Every step advances all live
+	// nodes by CapEvery OS epochs in parallel, then the serial
+	// coordinator reassigns caps from the step's measurements.
+	var capTrace []CapStep
+	var caps []config.FreqMHz
+	capping := c.BudgetW > 0
+	for done := 0; done < c.Epochs; done += c.CapEvery {
+		k := c.CapEvery
+		if done+k > c.Epochs {
+			k = c.Epochs - done
+		}
+		stepErrs := runner.ForEach(ctx, c.Workers, len(nodes), func(ctx context.Context, i int) error {
+			if nodes[i].dead {
+				return nil
+			}
+			return nodes[i].stepWindow(ctx, k)
+		}, nil)
+		for i, err := range stepErrs {
+			if err != nil && !nodes[i].dead {
+				nodes[i].dead, nodes[i].err = true, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return Summary{}, err
+		}
+		if capping && done+k < c.Epochs {
+			obs := make([]nodeObs, len(nodes))
+			for i, n := range nodes {
+				obs[i] = n.observe()
+			}
+			newCaps, step := planCaps(done+k, c.BudgetW, obs, caps)
+			for i, n := range nodes {
+				if n.dead || newCaps[i] == 0 {
+					continue
+				}
+				if err := n.sys.SetFrequencyCap(newCaps[i]); err != nil {
+					return Summary{}, err
+				}
+			}
+			caps = newCaps
+			capTrace = append(capTrace, step)
+		}
+	}
+
+	// Phase 4: finalize and reduce, strictly in node order.
+	for _, n := range nodes {
+		if !n.dead {
+			n.res = n.sys.Finalize()
+		}
+	}
+	return summarize(c, nodes, caps, capTrace), joinNodeErrors(nodes)
+}
+
+// buildNodes expands the group specs into the flat node list, with
+// stable global indices (group order, then node order) and precomputed
+// arrival schedules.
+func buildNodes(c Config) ([]*node, error) {
+	var nodes []*node
+	epochSec := config.Default().Policy.EpochLength.Seconds()
+	for gi, g := range c.Groups {
+		if g.Nodes <= 0 {
+			return nil, fmt.Errorf("fleet: group %d (%s): node count must be positive, got %d", gi, g.Name, g.Nodes)
+		}
+		arr := g.Arrival.withDefaults(c.Epochs)
+		if err := arr.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: group %d (%s): arrival %w", gi, g.Name, err)
+		}
+		cfg := config.Default()
+		cfg.Policy.Gamma = g.Gamma
+		if g.Cores > 0 {
+			cfg.Cores = g.Cores
+		}
+		if g.Channels > 0 {
+			cfg.Channels = g.Channels
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: group %d (%s): %w", gi, g.Name, err)
+		}
+		for ni := 0; ni < g.Nodes; ni++ {
+			n := &node{
+				group:     gi,
+				inGroup:   ni,
+				global:    len(nodes),
+				cfg:       cfg,
+				mix:       g.Mix,
+				spec:      g.Spec,
+				faultsCfg: g.Faults,
+				seed:      c.Seed,
+			}
+			n.schedule = arr.schedule(c.Seed, n.global, c.Epochs, epochSec)
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes, nil
+}
+
+// summarize reduces the fleet, in node order, into the public summary.
+func summarize(c Config, nodes []*node, caps []config.FreqMHz, capTrace []CapStep) Summary {
+	sum := Summary{
+		Nodes:    len(nodes),
+		Epochs:   c.Epochs,
+		BudgetW:  c.BudgetW,
+		CapTrace: capTrace,
+	}
+
+	groups := make([]GroupSummary, len(c.Groups))
+	groupSys := make([]float64, len(c.Groups))
+	groupBase := make([]float64, len(c.Groups))
+	groupCPI := make([][]float64, len(c.Groups))
+	for gi, g := range c.Groups {
+		groups[gi] = GroupSummary{Name: g.Name, Nodes: g.Nodes, Rollup: telemetry.NewRollup()}
+	}
+
+	var cpis []float64
+	var totalEpochs, constrainedEpochs int
+	var wallSec float64
+	for _, n := range nodes {
+		ns := NodeSummary{Node: n.global, Group: c.Groups[n.group].Name}
+		if caps != nil && n.global < len(caps) {
+			ns.FinalCapMHz = int(caps[n.global])
+		}
+		var meanIntensity float64
+		for _, m := range n.schedule {
+			meanIntensity += m
+		}
+		if len(n.schedule) > 0 {
+			ns.MeanIntensity = meanIntensity / float64(len(n.schedule))
+		}
+		if n.dead {
+			ns.Dead = true
+			if n.err != nil {
+				ns.Err = n.err.Error()
+			}
+			sum.DeadNodes++
+			sum.PerNode = append(sum.PerNode, ns)
+			continue
+		}
+		sys := n.systemEnergy(n.res)
+		base := n.systemEnergy(n.baseRes)
+		cpi := n.cpiIncrease()
+
+		ns.MemoryEnergyJ = n.res.Memory.Memory()
+		ns.SystemEnergyJ = sys
+		ns.BaselineSysJ = base
+		if base > 0 {
+			ns.SER = sys / base
+		}
+		ns.CPIIncrease = cpi
+		ns.CappedEpochs = n.constrained
+		sum.PerNode = append(sum.PerNode, ns)
+
+		sum.MemoryEnergyJ += n.res.Memory.Memory()
+		sum.SystemEnergyJ += sys
+		sum.BaselineSysJ += base
+		sum.Events += n.res.Events + n.baseRes.Events
+		// Nodes run concurrently: the fleet draws the sum of the
+		// per-node powers over one wall-clock span, not the serial
+		// concatenation of node runtimes. A dead node's shorter
+		// duration does not shrink the span the survivors cover.
+		wallSec = math.Max(wallSec, n.res.Duration.Seconds())
+		totalEpochs += n.epochs
+		constrainedEpochs += n.constrained
+		cpis = append(cpis, cpi)
+
+		gi := n.group
+		groupSys[gi] += sys
+		groupBase[gi] += base
+		groupCPI[gi] = append(groupCPI[gi], cpi)
+		groups[gi].Rollup.Add(nodeExport(c, n))
+	}
+
+	if sum.BaselineSysJ > 0 {
+		sum.SER = sum.SystemEnergyJ / sum.BaselineSysJ
+	}
+	if wallSec > 0 {
+		sum.MemAvgPowerW = sum.MemoryEnergyJ / wallSec
+	}
+	if totalEpochs > 0 {
+		sum.ConstrainedFrac = float64(constrainedEpochs) / float64(totalEpochs)
+	}
+	if c.BudgetW > 0 && sum.MemAvgPowerW > c.BudgetW {
+		sum.BudgetExceeded = true
+	}
+	sum.AvgCPIIncrease = mean(cpis)
+	sum.P99CPIIncrease = quantile(cpis, 0.99)
+	sum.P999CPIIncrease = quantile(cpis, 0.999)
+
+	for gi := range groups {
+		if groupBase[gi] > 0 {
+			groups[gi].SER = groupSys[gi] / groupBase[gi]
+		}
+		groups[gi].AvgCPIIncrease = mean(groupCPI[gi])
+		groups[gi].P99CPIIncrease = quantile(groupCPI[gi], 0.99)
+	}
+	sum.Groups = groups
+
+	sum.ConvergedAtEpoch = -1
+	for i := len(capTrace) - 1; i >= 0; i-- {
+		if capTrace[i].CapChanges != 0 {
+			break
+		}
+		sum.Converged = true
+		sum.ConvergedAtEpoch = capTrace[i].Epoch
+	}
+	return sum
+}
+
+// nodeExport packages one node's managed totals as a run export so
+// group aggregation reuses the standard telemetry rollup.
+func nodeExport(c Config, n *node) *telemetry.RunExport {
+	g := c.Groups[n.group]
+	freqSeconds := make(map[int]float64, len(n.res.FreqTime))
+	for f, t := range n.res.FreqTime {
+		freqSeconds[int(f)] = t.Seconds()
+	}
+	return &telemetry.RunExport{
+		Meta: telemetry.RunMeta{
+			Mix:          g.Mix.Name,
+			Policy:       g.Spec.Name,
+			Gamma:        g.Gamma,
+			Cores:        n.cfg.Cores,
+			Channels:     n.cfg.Channels,
+			NonMemPowerW: n.nonMem,
+		},
+		DurationSeconds: n.res.Duration.Seconds(),
+		Energy:          n.res.Memory.Export(),
+		Residency:       n.res.Residency,
+		FreqSeconds:     freqSeconds,
+	}
+}
+
+func joinNodeErrors(nodes []*node) error {
+	var errs []error
+	for _, n := range nodes {
+		if n.err != nil {
+			errs = append(errs, fmt.Errorf("node %d: %w", n.global, n.err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// quantile is the nearest-rank quantile over a copy of v (v itself is
+// never reordered, preserving node-order determinism elsewhere).
+// Small populations clamp to the maximum, so p999 of a 100-node fleet
+// is its worst node.
+func quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,313 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/faults"
+	"memscale/internal/policies"
+	"memscale/internal/workload"
+)
+
+func testConfig(t *testing.T, workers int) Config {
+	t.Helper()
+	ilp, err := workload.ByName("ILP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := workload.ByName("MID2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := policies.ByName("MemScale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Groups: []GroupSpec{
+			{Name: "web", Nodes: 4, Mix: ilp, Spec: spec, Cores: 2, Channels: 1,
+				Arrival: ArrivalSpec{Kind: ArrivalPoisson, UsersPerNode: 200, RequestsPerUserHz: 10}},
+			{Name: "cache", Nodes: 2, Mix: mid, Spec: spec, Cores: 2, Channels: 1,
+				Arrival: ArrivalSpec{Kind: ArrivalBursty}},
+		},
+		Epochs:  6,
+		BudgetW: 40,
+		Seed:    7,
+		Workers: workers,
+	}
+}
+
+// TestFleetDeterministicAcrossWorkers is the headline guarantee: same
+// seed, different worker counts, bit-identical summary.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node fleet run")
+	}
+	a, errA := Run(context.Background(), testConfig(t, 1))
+	b, errB := Run(context.Background(), testConfig(t, 4))
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v / %v", errA, errB)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("summaries differ across worker counts:\n%s\nvs\n%s", ja, jb)
+	}
+	if math.Float64bits(a.SER) != math.Float64bits(b.SER) {
+		t.Errorf("SER bits differ: %v vs %v", a.SER, b.SER)
+	}
+}
+
+// TestFleetBudgetCapsPower checks the coordinator actually constrains
+// the fleet: with a tight budget, nodes end up capped below nominal
+// and the trace shows constrained nodes.
+func TestFleetBudgetCapsPower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node fleet run")
+	}
+	c := testConfig(t, 0)
+	c.Groups = c.Groups[1:] // MID nodes want high frequency
+	c.Groups[0].Nodes = 3
+	c.BudgetW = 18 // well under 3 nodes' uncapped draw
+	sum, err := Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.CapTrace) == 0 {
+		t.Fatal("no coordinator decisions recorded")
+	}
+	lowCapped := false
+	for _, ns := range sum.PerNode {
+		if ns.FinalCapMHz > 0 && ns.FinalCapMHz < int(config.MaxBusFreq) {
+			lowCapped = true
+		}
+	}
+	if !lowCapped {
+		t.Error("tight budget never capped any node below nominal")
+	}
+	last := sum.CapTrace[len(sum.CapTrace)-1]
+	if last.EstimatedW > c.BudgetW+1e-9 && last.DeficitW == 0 {
+		t.Errorf("estimate %.2fW exceeds budget %.2fW without deficit", last.EstimatedW, c.BudgetW)
+	}
+}
+
+// TestFleetUncappedMatchesGenerousBudget: with no budget the
+// coordinator is off; the run still completes and reports SER < 1 for
+// MemScale nodes.
+func TestFleetUncapped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node fleet run")
+	}
+	c := testConfig(t, 0)
+	c.BudgetW = 0
+	sum, err := Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.CapTrace) != 0 {
+		t.Errorf("uncapped run recorded %d cap decisions", len(sum.CapTrace))
+	}
+	if sum.SER <= 0 || sum.SER >= 1.2 {
+		t.Errorf("fleet SER = %.3f, expected in (0, 1.2)", sum.SER)
+	}
+	if sum.Nodes != 6 || sum.DeadNodes != 0 {
+		t.Errorf("nodes %d dead %d", sum.Nodes, sum.DeadNodes)
+	}
+	if len(sum.Groups) != 2 || sum.Groups[0].Rollup.Runs != 4 {
+		t.Errorf("group rollups wrong: %+v", sum.Groups)
+	}
+}
+
+// TestFleetDeadNodeIsolated: a node with an injected panic dies alone;
+// the rest of the fleet finishes and the error names the node.
+func TestFleetDeadNodeIsolated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node fleet run")
+	}
+	c := testConfig(t, 2)
+	c.Groups[0].Faults = &faults.Config{PanicEnabled: true, PanicEpoch: 2}
+	sum, err := Run(context.Background(), c)
+	if err == nil {
+		t.Fatal("expected joined node errors")
+	}
+	if sum.DeadNodes != c.Groups[0].Nodes {
+		t.Errorf("dead nodes = %d, want %d", sum.DeadNodes, c.Groups[0].Nodes)
+	}
+	if alive := sum.Nodes - sum.DeadNodes; alive != c.Groups[1].Nodes {
+		t.Errorf("alive = %d", alive)
+	}
+	if sum.SER <= 0 {
+		t.Error("survivors produced no SER")
+	}
+}
+
+// --- planner units ---
+
+func obsAt(w float64, f, want config.FreqMHz) nodeObs {
+	return nodeObs{alive: true, measuredW: w, measFreq: f, rho: 0.4, want: want}
+}
+
+func TestPlanCapsGenerousBudgetUncaps(t *testing.T) {
+	obs := []nodeObs{obsAt(10, 800, 800), obsAt(10, 800, 800)}
+	caps, step := planCaps(1, 1000, obs, nil)
+	for i, cp := range caps {
+		if cp != config.MaxBusFreq {
+			t.Errorf("node %d capped at %v under a generous budget", i, cp)
+		}
+	}
+	if step.Constrained != 0 || step.DeficitW != 0 {
+		t.Errorf("step = %+v", step)
+	}
+}
+
+func TestPlanCapsTightBudgetWaterFills(t *testing.T) {
+	obs := []nodeObs{obsAt(10, 800, 800), obsAt(10, 800, 800)}
+	// Budget fits both nodes only well below nominal.
+	caps, step := planCaps(1, 14, obs, nil)
+	if caps[0] != caps[1] {
+		t.Errorf("identical nodes got different caps: %v vs %v", caps[0], caps[1])
+	}
+	if caps[0] >= config.MaxBusFreq {
+		t.Errorf("cap %v not lowered under tight budget", caps[0])
+	}
+	if step.Constrained != 2 {
+		t.Errorf("constrained = %d, want 2", step.Constrained)
+	}
+	if step.EstimatedW > 14+1e-9 {
+		t.Errorf("estimate %.3f exceeds budget", step.EstimatedW)
+	}
+}
+
+func TestPlanCapsPromotionsSpendLeftover(t *testing.T) {
+	// Two hungry nodes, one idle node. The budget puts the uniform
+	// level at 733 MHz (fleet estimate 20.095 W) and leaves ~0.505 W —
+	// enough to promote exactly one hungry node back to 800 MHz
+	// (incremental cost ~0.5025 W). Deterministic order promotes the
+	// lower-indexed node.
+	obs := []nodeObs{obsAt(10, 800, 800), obsAt(10, 800, 800), obsAt(2, 800, 200)}
+	caps, step := planCaps(1, 20.6, obs, nil)
+	if step.UniformMHz != 733 {
+		t.Fatalf("uniform level = %d, want 733", step.UniformMHz)
+	}
+	if caps[0] != config.Freq800 || caps[1] != config.Freq733 {
+		t.Errorf("caps = %v, want [800 733 ...]", caps)
+	}
+	if step.Promotions != 1 {
+		t.Errorf("promotions = %d, want 1", step.Promotions)
+	}
+	if step.EstimatedW > 20.6+1e-9 {
+		t.Errorf("estimate %.4f exceeds budget", step.EstimatedW)
+	}
+}
+
+func TestPlanCapsDeficitReported(t *testing.T) {
+	obs := []nodeObs{obsAt(20, 800, 800)}
+	caps, step := planCaps(1, 1, obs, nil)
+	if caps[0] != config.MinBusFreq {
+		t.Errorf("cap = %v, want floor %v", caps[0], config.MinBusFreq)
+	}
+	if step.DeficitW <= 0 {
+		t.Error("deficit not reported for impossible budget")
+	}
+}
+
+func TestPlanCapsChurnAgainstPrev(t *testing.T) {
+	obs := []nodeObs{obsAt(10, 800, 800), obsAt(10, 800, 800)}
+	caps, _ := planCaps(1, 1000, obs, nil)
+	_, step := planCaps(2, 1000, obs, caps)
+	if step.CapChanges != 0 {
+		t.Errorf("stable assignment reported %d changes", step.CapChanges)
+	}
+}
+
+func TestPlanCapsDeadNodesDrawNothing(t *testing.T) {
+	obs := []nodeObs{obsAt(10, 800, 800), {}}
+	caps, step := planCaps(1, 12, obs, nil)
+	if caps[1] != 0 {
+		t.Errorf("dead node got cap %v", caps[1])
+	}
+	if step.MeasuredW != 10 {
+		t.Errorf("measured %.1f, want 10", step.MeasuredW)
+	}
+}
+
+// --- arrival units ---
+
+func TestArrivalSteadyIsExactlyOne(t *testing.T) {
+	a := ArrivalSpec{}.withDefaults(8)
+	for i, m := range a.schedule(1, 0, 8, 0.005) {
+		if m != 1 {
+			t.Fatalf("steady epoch %d = %g", i, m)
+		}
+	}
+}
+
+func TestArrivalDeterministicPerNode(t *testing.T) {
+	a := ArrivalSpec{Kind: ArrivalDiurnal}.withDefaults(50)
+	x := a.schedule(9, 3, 50, 0.005)
+	y := a.schedule(9, 3, 50, 0.005)
+	z := a.schedule(9, 4, 50, 0.005)
+	same, diff := true, false
+	for i := range x {
+		if x[i] != y[i] {
+			same = false
+		}
+		if x[i] != z[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same (seed, node) produced different schedules")
+	}
+	if !diff {
+		t.Error("different nodes produced identical schedules")
+	}
+}
+
+func TestArrivalPoissonMeanNearOne(t *testing.T) {
+	a := ArrivalSpec{Kind: ArrivalPoisson}.withDefaults(200)
+	var sum float64
+	sched := a.schedule(5, 0, 200, 0.005)
+	for _, m := range sched {
+		sum += m
+		if m < minIntensity || m > maxIntensity {
+			t.Fatalf("intensity %g outside clamp", m)
+		}
+	}
+	if mean := sum / float64(len(sched)); mean < 0.9 || mean > 1.1 {
+		t.Errorf("poisson mean intensity = %.3f, want ~1", mean)
+	}
+}
+
+func TestArrivalBurstyExceedsNominal(t *testing.T) {
+	a := ArrivalSpec{Kind: ArrivalBursty}.withDefaults(400)
+	bursts := 0
+	for _, m := range a.schedule(3, 1, 400, 0.005) {
+		if m > 2 {
+			bursts++
+		}
+	}
+	if bursts == 0 {
+		t.Error("bursty schedule never burst over 400 epochs")
+	}
+}
+
+func TestArrivalValidation(t *testing.T) {
+	cases := []ArrivalSpec{
+		{Kind: "nope"},
+		{Kind: ArrivalPoisson, UsersPerNode: math.NaN()},
+		{Kind: ArrivalBursty, BurstProbability: 1.5},
+		{Kind: ArrivalDiurnal, DiurnalAmplitude: 1.0},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	if err := (ArrivalSpec{}).withDefaults(10).Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexedResults(t *testing.T) {
+	got := make([]int, 100)
+	errs := ForEach(context.Background(), 8, len(got), func(_ context.Context, i int) error {
+		got[i] = i * i
+		if i%7 == 3 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	}, nil)
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+		if (i%7 == 3) != (errs[i] != nil) {
+			t.Errorf("slot %d err = %v", i, errs[i])
+		}
+	}
+}
+
+func TestForEachPanicIsolation(t *testing.T) {
+	errs := ForEach(context.Background(), 4, 10, func(_ context.Context, i int) error {
+		if i == 5 {
+			panic("poisoned item")
+		}
+		return nil
+	}, nil)
+	for i, err := range errs {
+		if i == 5 {
+			var pe *PanicError
+			if !errors.As(err, &pe) || !errors.Is(err, ErrRunPanicked) {
+				t.Fatalf("item 5 err = %v, want *PanicError", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("item %d err = %v", i, err)
+		}
+	}
+}
+
+func TestForEachDrainsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	errs := ForEach(ctx, 1, 50, func(_ context.Context, i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	}, nil)
+	if n := ran.Load(); n >= 50 {
+		t.Fatalf("cancellation did not drain: %d ran", n)
+	}
+	var cancelled int
+	for _, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no index recorded ctx.Err()")
+	}
+}
+
+func TestForEachOnDoneSerializedAndCounted(t *testing.T) {
+	var seen []int // appended under the pool's own serialization
+	var lastDone int
+	errs := ForEach(context.Background(), 6, 40, func(_ context.Context, i int) error {
+		return nil
+	}, func(done, index int, err error) {
+		if done != lastDone+1 {
+			t.Errorf("done jumped %d -> %d", lastDone, done)
+		}
+		lastDone = done
+		seen = append(seen, index)
+	})
+	if len(seen) != 40 || lastDone != 40 {
+		t.Fatalf("onDone fired %d times, done reached %d", len(seen), lastDone)
+	}
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if errs := ForEach(context.Background(), 4, 0, func(_ context.Context, i int) error {
+		t.Fatal("fn called for empty input")
+		return nil
+	}, nil); len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+}

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sync"
 	"time"
 
 	"memscale/internal/config"
@@ -391,61 +390,20 @@ func (e *Engine) runAttempt(ctx context.Context, job Job, cfg config.Config, non
 // cancellation does — jobs not yet started report ctx.Err().
 func (e *Engine) RunEach(ctx context.Context, jobs []Job) ([]Outcome, []error) {
 	outs := make([]Outcome, len(jobs))
-	errs := make([]error, len(jobs))
-	if len(jobs) == 0 {
-		return outs, errs
-	}
-
-	workers := e.workers
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	var (
-		mu   sync.Mutex // guards next and done; serializes OnResult
-		next int
-		done int
-		wg   sync.WaitGroup
-	)
-	claim := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		i := next
-		next++
-		return i
-	}
-	finish := func(i int) {
-		mu.Lock()
-		defer mu.Unlock()
-		done++
-		if e.onResult != nil {
+	var onDone func(done, i int, err error)
+	if e.onResult != nil {
+		onDone = func(done, i int, err error) {
 			e.onResult(Progress{
 				Done: done, Total: len(jobs), Index: i,
-				Job: jobs[i], Outcome: outs[i], Err: errs[i],
+				Job: jobs[i], Outcome: outs[i], Err: err,
 			})
 		}
 	}
-
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := claim()
-				if i >= len(jobs) {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					// Drain the remaining jobs without running them.
-					errs[i] = err
-				} else {
-					outs[i], errs[i] = e.Run(ctx, jobs[i])
-				}
-				finish(i)
-			}
-		}()
-	}
-	wg.Wait()
+	errs := ForEach(ctx, e.workers, len(jobs), func(ctx context.Context, i int) error {
+		var err error
+		outs[i], err = e.Run(ctx, jobs[i])
+		return err
+	}, onDone)
 	return outs, errs
 }
 

@@ -195,6 +195,31 @@ type System struct {
 	lastCounters memctrl.Counters
 	lastInstr    []float64
 	started      bool
+
+	// capFreq is the external frequency ceiling (0 = uncapped); see
+	// SetFrequencyCap.
+	capFreq config.FreqMHz
+
+	// step carries the epoch loop's cross-epoch state so the loop can
+	// run either to completion (run) or one epoch at a time (StepEpoch).
+	step stepState
+}
+
+// stepState is the loop-carried state of the epoch loop, hoisted out of
+// run() so StepEpoch can execute one iteration at a time with identical
+// behaviour.
+type stepState struct {
+	predictor interface {
+		PredictedMeanCPI(config.FreqMHz) float64
+	}
+	slacker  interface{ Slack() []config.Time }
+	degrader DegradableGovernor
+
+	perChannel    bool
+	controlFaults bool
+
+	prevSlack []config.Time
+	idx       int
 }
 
 // New builds a system running the given per-core streams under cfg.
@@ -234,7 +259,43 @@ func (s *System) start() {
 	}
 	s.lastCounters = s.MC.Counters()
 	s.lastInstr = make([]float64, len(s.Cores))
+
+	// Optional governor hooks the telemetry decision and slack traces
+	// probe for; governors that lack them simply produce sparser traces.
+	s.step.predictor, _ = s.opts.Governor.(interface {
+		PredictedMeanCPI(config.FreqMHz) float64
+	})
+	s.step.slacker, _ = s.opts.Governor.(interface{ Slack() []config.Time })
+	s.step.degrader, _ = s.opts.Governor.(DegradableGovernor)
+	_, s.step.perChannel = s.opts.Governor.(PerChannelGovernor)
+	// Fault classes that disturb the control path only make sense
+	// under a uniform governor: the baseline never consults counters
+	// or relocks, and the per-channel extension is outside the fault
+	// model. Refresh storms hit the DRAM regardless of who governs.
+	s.step.controlFaults = s.opts.Governor != nil && !s.step.perChannel
+
+	if s.opts.Telemetry != nil && s.step.slacker != nil {
+		s.step.prevSlack = s.step.slacker.Slack()
+	}
 }
+
+// SetFrequencyCap sets the external bus-frequency ceiling applied to
+// the governor's choice from the next epoch on; 0 clears the cap. The
+// cap composes with thermal-emergency ceilings (the lower wins) and
+// never marks an epoch degraded: it is an operating constraint, not a
+// fault. This is the hook cluster-level power capping feeds
+// (internal/fleet). f must be 0 or on the bus-frequency ladder.
+func (s *System) SetFrequencyCap(f config.FreqMHz) error {
+	if f != 0 && !config.ValidBusFrequency(f) {
+		return fmt.Errorf("sim: frequency cap %v is not on the bus-frequency ladder", f)
+	}
+	s.capFreq = f
+	return nil
+}
+
+// FrequencyCap returns the ceiling set by SetFrequencyCap (0 when
+// uncapped).
+func (s *System) FrequencyCap() config.FreqMHz { return s.capFreq }
 
 // flush closes the power interval at now, meters it, and returns it
 // alongside its energy breakdown.
@@ -342,31 +403,60 @@ func (s *System) stepUntil(ctx context.Context, deadline config.Time) error {
 
 func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, error) {
 	s.start()
+	for {
+		rec, err := s.stepEpoch(ctx, false)
+		if err != nil {
+			return Result{}, err
+		}
+		if done(rec.End) || rec.End >= s.opts.MaxDuration {
+			break
+		}
+	}
+	return s.finalize(), nil
+}
+
+// StepEpoch advances the simulation by exactly one OS epoch and returns
+// its fully assembled record, starting the system on the first call.
+// Interleaving StepEpoch with configuration hooks (SetFrequencyCap,
+// per-stream intensity changes) is the substrate for closed-loop
+// drivers such as the fleet coordinator; a run stepped to the same
+// horizon with unchanged hooks is bit-identical to RunFor. Call
+// Finalize when done stepping.
+func (s *System) StepEpoch(ctx context.Context) (EpochRecord, error) {
+	if !s.started {
+		s.start()
+	}
+	return s.stepEpoch(ctx, true)
+}
+
+// Finalize closes the run after manual StepEpoch driving and returns
+// the accumulated Result (the same totals run-to-completion callers
+// get).
+func (s *System) Finalize() Result {
+	if !s.started {
+		panic("sim: Finalize before any epoch ran")
+	}
+	return s.finalize()
+}
+
+// stepEpoch executes one epoch of the loop: profile, decide, run the
+// quantum, account. The returned record always carries Index, Start,
+// End, Freq, and WantFreq; the full snapshot (CPI, energy, residency)
+// is assembled when the caller wants it or telemetry/timeline needs it
+// anyway.
+func (s *System) stepEpoch(ctx context.Context, wantRec bool) (EpochRecord, error) {
 	epoch := s.Cfg.Policy.EpochLength
 	profLen := s.Cfg.Policy.ProfilingLength
 	tel := s.opts.Telemetry
 	inj := s.opts.Faults
+	predictor := s.step.predictor
+	slacker := s.step.slacker
+	degrader := s.step.degrader
+	controlFaults := s.step.controlFaults
 
-	// Optional governor hooks the telemetry decision and slack traces
-	// probe for; governors that lack them simply produce sparser traces.
-	predictor, _ := s.opts.Governor.(interface {
-		PredictedMeanCPI(config.FreqMHz) float64
-	})
-	slacker, _ := s.opts.Governor.(interface{ Slack() []config.Time })
-	degrader, _ := s.opts.Governor.(DegradableGovernor)
-	_, perChannel := s.opts.Governor.(PerChannelGovernor)
-	// Fault classes that disturb the control path only make sense
-	// under a uniform governor: the baseline never consults counters
-	// or relocks, and the per-channel extension is outside the fault
-	// model. Refresh storms hit the DRAM regardless of who governs.
-	controlFaults := s.opts.Governor != nil && !perChannel
-
-	var prevSlack []config.Time
-	if tel != nil && slacker != nil {
-		prevSlack = slacker.Slack()
-	}
-
-	for idx := 0; ; idx++ {
+	{
+		idx := s.step.idx
+		s.step.idx++
 		start := s.Q.Now()
 		freq := s.MC.BusFreq()
 		tel.SetEpoch(idx)
@@ -382,14 +472,14 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 			panic(faults.InjectedPanic{Epoch: idx})
 		}
 		if plan.Abort {
-			return Result{}, fmt.Errorf("sim: injected abort at epoch %d: %w", idx, faults.ErrTransient)
+			return EpochRecord{}, fmt.Errorf("sim: injected abort at epoch %d: %w", idx, faults.ErrTransient)
 		}
 		var mask faults.Kind
 
 		// Profiling phase.
 		profEnd := start + profLen
 		if err := s.stepUntil(ctx, profEnd); err != nil {
-			return Result{}, err
+			return EpochRecord{}, err
 		}
 		p := s.window(start, profEnd, freq)
 
@@ -415,7 +505,7 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 					reprofEnd = end
 				}
 				if err := s.stepUntil(ctx, reprofEnd); err != nil {
-					return Result{}, err
+					return EpochRecord{}, err
 				}
 				p2 := s.window(profEnd, reprofEnd, freq)
 				decisionProf = p2
@@ -424,14 +514,25 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 			}
 		}
 
-		// Thermal emergency: cap the candidate frequency ceiling while
-		// the window is open.
-		maxAllowed := config.MaxBusFreq
+		// Candidate frequency ceiling: the external cap (cluster power
+		// capping) and a thermal emergency both lower it; the lower
+		// wins. maxWant tracks the ceiling absent the external cap so
+		// WantFreq can report what the node would run uncapped.
+		maxWant := config.MaxBusFreq
+		maxAllowed := maxWant
+		if s.capFreq != 0 && s.capFreq < maxAllowed {
+			maxAllowed = s.capFreq
+		}
 		if controlFaults && plan.ThermalCeiling != 0 {
-			maxAllowed = plan.ThermalCeiling
+			if plan.ThermalCeiling < maxWant {
+				maxWant = plan.ThermalCeiling
+			}
+			if plan.ThermalCeiling < maxAllowed {
+				maxAllowed = plan.ThermalCeiling
+			}
 			s.result.Faults.ThermalEpochs++
 			mask |= faults.KindThermal
-			tel.Fault(decisionAt, uint8(faults.KindThermal), int64(maxAllowed), 0)
+			tel.Fault(decisionAt, uint8(faults.KindThermal), int64(plan.ThermalCeiling), 0)
 		}
 
 		// Refresh storm: a retention emergency owes the DRAM extra
@@ -451,6 +552,7 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 
 		// Control algorithm invocation + bus frequency re-locking.
 		chosen := freq
+		want := freq
 		var chosenPer []config.FreqMHz
 		if pcg, ok := s.opts.Governor.(PerChannelGovernor); ok {
 			chosenPer = pcg.ProfileCompletePerChannel(p)
@@ -461,14 +563,20 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 					chosen = f
 				}
 			}
+			want = chosen
 		} else if s.opts.Governor != nil {
 			if trusted && !plan.Storm {
 				chosen = s.opts.Governor.ProfileComplete(decisionProf)
+				want = chosen
 			} else {
 				// Graceful degradation: with no trustworthy profile, or
 				// a retention emergency stealing bandwidth, fall back to
 				// the maximum allowed frequency instead of guessing.
 				chosen = maxAllowed
+				want = maxWant
+			}
+			if want > maxWant {
+				want = maxWant
 			}
 			if chosen > maxAllowed {
 				chosen = maxAllowed
@@ -507,7 +615,7 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 		// Run out the epoch at the chosen frequency.
 		epochEnd := start + epoch
 		if err := s.stepUntil(ctx, epochEnd); err != nil {
-			return Result{}, err
+			return EpochRecord{}, err
 		}
 		ep := s.window(decisionAt, epochEnd, chosen)
 		if s.opts.Governor != nil {
@@ -538,16 +646,17 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 			cur := slacker.Slack()
 			for i := range cur {
 				var prev config.Time
-				if i < len(prevSlack) {
-					prev = prevSlack[i]
+				if i < len(s.step.prevSlack) {
+					prev = s.step.prevSlack[i]
 				}
 				tel.Slack(epochEnd, i, (cur[i] - prev).Seconds(), cur[i].Seconds())
 			}
-			prevSlack = cur
+			s.step.prevSlack = cur
 		}
 
-		if s.opts.KeepTimeline || tel != nil {
-			rec := s.snapshotEpoch(idx, start, decisionAt, epochEnd, chosen, chosenPer, p, ep)
+		var rec EpochRecord
+		if wantRec || s.opts.KeepTimeline || tel != nil {
+			rec = s.snapshotEpoch(idx, start, decisionAt, epochEnd, chosen, want, chosenPer, p, ep)
 			rec.FaultMask = uint8(mask)
 			if tel != nil {
 				rec.HostNs = time.Since(hostStart).Nanoseconds()
@@ -560,13 +669,17 @@ func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, 
 			if s.opts.KeepTimeline {
 				s.result.Epochs = append(s.result.Epochs, rec)
 			}
+		} else {
+			// Run-to-completion callers only consult the epoch bounds;
+			// skip the full snapshot assembly.
+			rec.Index = idx
+			rec.Start = start
+			rec.End = epochEnd
+			rec.Freq = chosen
+			rec.WantFreq = want
 		}
-
-		if done(epochEnd) || epochEnd >= s.opts.MaxDuration {
-			break
-		}
+		return rec, nil
 	}
-	return s.finalize(), nil
 }
 
 // mergeProfiles concatenates two adjacent windows into one: counter
@@ -607,7 +720,7 @@ func mergeIntervals(a, b power.Interval) power.Interval {
 // snapshotEpoch assembles the per-epoch telemetry record from the two
 // windows of one epoch (profiling phase + epoch body).
 func (s *System) snapshotEpoch(idx int, start, profEnd, epochEnd config.Time,
-	chosen config.FreqMHz, chosenPer []config.FreqMHz, p, ep Profile) EpochRecord {
+	chosen, want config.FreqMHz, chosenPer []config.FreqMHz, p, ep Profile) EpochRecord {
 	energy := p.Energy
 	energy.Add(ep.Energy)
 	residency := p.Interval.DRAMTotal()
@@ -629,6 +742,7 @@ func (s *System) snapshotEpoch(idx int, start, profEnd, epochEnd config.Time,
 		Start:       start,
 		End:         epochEnd,
 		Freq:        chosen,
+		WantFreq:    want,
 		ChannelFreq: chosenPer,
 		CoreCPI:     coreCPI,
 		ChannelUtil: util,

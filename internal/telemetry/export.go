@@ -5,9 +5,45 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"memscale/internal/dram"
 )
+
+// SchemaVersion is the JSONL interchange format version stamped on
+// every run record WriteJSONL emits, as "MAJOR.MINOR".
+//
+// Compatibility rule: minor bumps only ever add fields, which older
+// readers ignore, so a reader accepts any stream whose major version
+// matches its own (and streams without a version, which predate the
+// stamp and read as "1.0"). A different major version means the record
+// shapes changed incompatibly and ReadJSONL rejects the stream with a
+// *SchemaVersionError.
+const SchemaVersion = "1.1"
+
+// schemaMajor returns the MAJOR component of a version string; the
+// empty version is the pre-stamp "1.0".
+func schemaMajor(v string) string {
+	if v == "" {
+		return "1"
+	}
+	if i := strings.IndexByte(v, '.'); i >= 0 {
+		return v[:i]
+	}
+	return v
+}
+
+// SchemaVersionError reports a telemetry stream written by an
+// incompatible (different-major) schema version.
+type SchemaVersionError struct {
+	Version string // the stream's schema_version
+	Line    int    // 1-based line of the offending run record
+}
+
+func (e *SchemaVersionError) Error() string {
+	return fmt.Sprintf("telemetry: line %d: unsupported schema version %q (this reader speaks %s; only matching major versions are compatible)",
+		e.Line, e.Version, SchemaVersion)
+}
 
 // RunMeta identifies one exported run.
 type RunMeta struct {
@@ -31,6 +67,11 @@ type RunMeta struct {
 // stream. It is the unit of the JSONL interchange format consumed by
 // memscale-report.
 type RunExport struct {
+	// SchemaVersion records the interchange format version the export
+	// was written with. WriteJSONL stamps it automatically; an empty
+	// value reads as the pre-versioning "1.0".
+	SchemaVersion string `json:"schema_version,omitempty"`
+
 	Meta RunMeta `json:"meta"`
 
 	// DurationSeconds is the simulated run length, as accumulated by
@@ -133,6 +174,13 @@ func WriteJSONL(w io.Writer, exports ...*RunExport) error {
 		if e == nil {
 			continue
 		}
+		// Stamp the schema version on the wire without mutating the
+		// caller's export (shallow copy: the encoder only reads).
+		if e.SchemaVersion == "" {
+			stamped := *e
+			stamped.SchemaVersion = SchemaVersion
+			e = &stamped
+		}
 		if err := enc.Encode(jsonlRecord{Type: "run", Run: e}); err != nil {
 			return err
 		}
@@ -150,7 +198,10 @@ func WriteJSONL(w io.Writer, exports ...*RunExport) error {
 	return bw.Flush()
 }
 
-// ReadJSONL parses an interchange stream back into run exports.
+// ReadJSONL parses an interchange stream back into run exports. Run
+// records carrying an incompatible (different-major) schema_version
+// abort the parse with a *SchemaVersionError; see SchemaVersion for
+// the compatibility rule.
 func ReadJSONL(r io.Reader) ([]*RunExport, error) {
 	var out []*RunExport
 	sc := bufio.NewScanner(r)
@@ -170,6 +221,9 @@ func ReadJSONL(r io.Reader) ([]*RunExport, error) {
 		case "run":
 			if rec.Run == nil {
 				return nil, fmt.Errorf("telemetry: line %d: run record without payload", line)
+			}
+			if schemaMajor(rec.Run.SchemaVersion) != schemaMajor(SchemaVersion) {
+				return nil, &SchemaVersionError{Version: rec.Run.SchemaVersion, Line: line}
 			}
 			out = append(out, rec.Run)
 		case "epoch":

@@ -57,6 +57,14 @@ type EpochSnapshot struct {
 	Freq        config.FreqMHz   `json:"freq_mhz"`
 	ChannelFreq []config.FreqMHz `json:"channel_freq_mhz,omitempty"`
 
+	// WantFreq is the frequency the governor would have run absent any
+	// external frequency cap (SetFrequencyCap): the pre-cap choice,
+	// still clamped by thermal emergencies. WantFreq > Freq marks a
+	// cap-constrained epoch — the signal cluster-level power capping
+	// uses to find nodes that deserve a promotion. Equal to Freq when
+	// uncapped.
+	WantFreq config.FreqMHz `json:"want_freq_mhz,omitempty"`
+
 	// CoreCPI is the epoch-local CPI per core; ChannelUtil the
 	// epoch-local bus utilization per channel.
 	CoreCPI     []float64 `json:"core_cpi"`

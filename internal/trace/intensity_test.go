@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIntensityOneIsBitIdentical: setting intensity to exactly 1 must
+// not perturb the generated sequence at all (the fleet layer's no-op
+// multiplier guarantee).
+func TestIntensityOneIsBitIdentical(t *testing.T) {
+	m := testMapper()
+	p := Profile{Name: "id", Phases: []Phase{{BaseCPI: 1, MPKI: 8, WPKI: 3, RowLocality: 0.4}}}
+	a := mustStream(t, p, m, 11)
+	b := mustStream(t, p, m, 11)
+	if err := b.SetIntensity(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("access %d diverged: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+// TestIntensityScalesMissRate: doubling intensity roughly doubles the
+// miss rate (halves the mean gap) without changing the writeback
+// ratio.
+func TestIntensityScalesMissRate(t *testing.T) {
+	m := testMapper()
+	p := Profile{Name: "load", Phases: []Phase{{BaseCPI: 1, MPKI: 5, WPKI: 2, RowLocality: 0.3}}}
+
+	rate := func(mult float64) (mpki, wbRatio float64) {
+		s := mustStream(t, p, m, 21)
+		if err := s.SetIntensity(mult); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40000; i++ {
+			s.Next()
+		}
+		instr, reads, wbs := s.Stats()
+		return 1000 * float64(reads) / float64(instr), float64(wbs) / float64(reads)
+	}
+
+	base, baseWB := rate(1)
+	double, doubleWB := rate(2)
+	if ratio := double / base; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("intensity 2 scaled MPKI by %.2f (%.2f -> %.2f), want ~2", ratio, base, double)
+	}
+	// The writeback-to-read ratio is the profile's own (WPKI/MPKI =
+	// 0.4) at every intensity.
+	for _, wb := range []float64{baseWB, doubleWB} {
+		if wb < 0.35 || wb > 0.45 {
+			t.Errorf("writeback ratio %.3f drifted from profile's 0.4", wb)
+		}
+	}
+}
+
+// TestIntensityValidation rejects non-positive and non-finite
+// multipliers.
+func TestIntensityValidation(t *testing.T) {
+	m := testMapper()
+	p := Profile{Name: "v", Phases: []Phase{{BaseCPI: 1, MPKI: 5, RowLocality: 0}}}
+	s := mustStream(t, p, m, 3)
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if err := s.SetIntensity(bad); err == nil {
+			t.Errorf("intensity %g accepted", bad)
+		}
+	}
+	if s.Intensity() != 1 {
+		t.Errorf("default intensity = %g, want 1", s.Intensity())
+	}
+	if err := s.SetIntensity(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Intensity() != 2.5 {
+		t.Errorf("intensity = %g, want 2.5", s.Intensity())
+	}
+}

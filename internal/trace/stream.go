@@ -116,6 +116,10 @@ type Stream struct {
 	channels []int           // allowed channels (nil = all), for page partitioning
 	totalIn  uint64          // total instructions generated
 
+	// intensity scales the effective miss rate (see SetIntensity);
+	// zero means the default 1.0.
+	intensity float64
+
 	reads, writebacks uint64
 }
 
@@ -146,6 +150,30 @@ func NewStreamOnChannels(p Profile, mapper *config.AddressMapper, seed uint64, c
 
 // Name returns the profile name.
 func (s *Stream) Name() string { return s.profile.Name }
+
+// SetIntensity scales the stream's effective memory pressure: the
+// active phase's MPKI is multiplied by m from the next access on, so
+// m > 1 packs misses closer together (heavier offered load) and m < 1
+// spreads them out, while the writeback-to-read ratio stays the
+// profile's own. This is the open-loop arrival coupling the fleet
+// layer drives — per-epoch request-rate multipliers land here.
+// m must be positive and finite; m == 1 is bit-identical to an
+// untouched stream.
+func (s *Stream) SetIntensity(m float64) error {
+	if math.IsNaN(m) || math.IsInf(m, 0) || m <= 0 {
+		return fmt.Errorf("trace: intensity must be positive and finite, got %g", m)
+	}
+	s.intensity = m
+	return nil
+}
+
+// Intensity returns the multiplier set by SetIntensity (1 by default).
+func (s *Stream) Intensity() float64 {
+	if s.intensity == 0 {
+		return 1
+	}
+	return s.intensity
+}
 
 func (s *Stream) enterPhase(i int) {
 	s.phaseIdx = i
@@ -206,7 +234,11 @@ func (s *Stream) phase() *Phase {
 func (s *Stream) Next() Access {
 	ph := s.phase()
 
-	meanGap := 1000.0 / ph.MPKI
+	mpki := ph.MPKI
+	if s.intensity != 0 && s.intensity != 1 {
+		mpki *= s.intensity
+	}
+	meanGap := 1000.0 / mpki
 	gap := uint64(s.rng.Exp(meanGap) + 0.5)
 	if gap == 0 {
 		gap = 1

@@ -207,32 +207,31 @@ func (tc *TelemetryConfig) options() *telemetry.Options {
 	return &telemetry.Options{Events: tc.Events, RingSize: tc.EventRingSize}
 }
 
-// validate rejects degenerate scaling values up front with
-// ErrInvalidConfig, before any simulation runs. Zero values are
-// allowed: they select the documented defaults.
-func (rc RunConfig) validate() error {
+// Validate rejects degenerate scaling values up front, before any
+// simulation runs. Every failure wraps ErrInvalidConfig and names the
+// offending field with a snake_case path (e.g. "gamma",
+// "faults.storm_rate"), so callers can both classify with errors.Is
+// and surface the exact field to users. Zero values are allowed: they
+// select the documented defaults. Run, RunContext, and Sweep all call
+// Validate internally; calling it directly is only needed to check a
+// configuration without running it.
+func (rc RunConfig) Validate() error {
 	switch {
 	case rc.Epochs < 0:
-		return fmt.Errorf("%w: Epochs must be >= 0 (0 selects the default 10), got %d",
+		return fmt.Errorf("%w: epochs: must be >= 0 (0 selects the default 10), got %d",
 			ErrInvalidConfig, rc.Epochs)
 	case math.IsNaN(rc.Gamma) || rc.Gamma < 0 || rc.Gamma >= 1:
-		return fmt.Errorf("%w: Gamma must be in [0, 1) (0 selects the default 0.10), got %g",
+		return fmt.Errorf("%w: gamma: must be in [0, 1) (0 selects the default 0.10), got %g",
 			ErrInvalidConfig, rc.Gamma)
 	case rc.Cores < 0:
-		return fmt.Errorf("%w: Cores must be >= 0 (0 selects the default), got %d",
+		return fmt.Errorf("%w: cores: must be >= 0 (0 selects the default), got %d",
 			ErrInvalidConfig, rc.Cores)
 	case rc.Channels < 0:
-		return fmt.Errorf("%w: Channels must be >= 0 (0 selects the default), got %d",
+		return fmt.Errorf("%w: channels: must be >= 0 (0 selects the default), got %d",
 			ErrInvalidConfig, rc.Channels)
 	}
-	if rc.Faults != nil {
-		if rc.Faults.RelockBackoff < 0 {
-			return fmt.Errorf("%w: Faults.RelockBackoff must be >= 0, got %v",
-				ErrInvalidConfig, rc.Faults.RelockBackoff)
-		}
-		if err := rc.Faults.internal().Validate(); err != nil {
-			return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
-		}
+	if err := rc.Faults.validate("faults"); err != nil {
+		return err
 	}
 	// Positive but unusable machine shapes are caught by the simulator
 	// configuration's own validation; surface them under the same
@@ -246,6 +245,62 @@ func (rc RunConfig) validate() error {
 	}
 	if err := cfg.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	return nil
+}
+
+// validate checks the fault plane's parameters with field paths rooted
+// at prefix ("faults" for a single run, "groups[i].faults" in a
+// fleet). Nil-safe: a nil config injects nothing and is always valid.
+func (fc *FaultConfig) validate(prefix string) error {
+	if fc == nil {
+		return nil
+	}
+	for _, f := range []struct {
+		field string
+		v     float64
+	}{
+		{"storm_rate", fc.RefreshStormRate},
+		{"relock_rate", fc.RelockFailRate},
+		{"corrupt_rate", fc.CounterCorruptRate},
+		{"thermal_rate", fc.ThermalRate},
+		{"abort_rate", fc.TransientAbortRate},
+	} {
+		if math.IsNaN(f.v) || f.v < 0 || f.v > 1 {
+			return fmt.Errorf("%w: %s.%s: rate must be in [0, 1], got %g",
+				ErrInvalidConfig, prefix, f.field, f.v)
+		}
+	}
+	for _, f := range []struct {
+		field string
+		v     int
+	}{
+		{"storm_bursts", fc.RefreshStormBursts},
+		{"relock_max_retries", fc.RelockMaxRetries},
+		{"thermal_window_epochs", fc.ThermalWindowEpochs},
+		{"max_run_retries", fc.MaxRunRetries},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%w: %s.%s: must be >= 0 (0 selects the default), got %d",
+				ErrInvalidConfig, prefix, f.field, f.v)
+		}
+	}
+	if fc.RelockBackoff < 0 {
+		return fmt.Errorf("%w: %s.relock_backoff: must be >= 0, got %v",
+			ErrInvalidConfig, prefix, fc.RelockBackoff)
+	}
+	if c := fc.ThermalCeilingMHz; c != 0 && !config.ValidBusFrequency(config.FreqMHz(c)) {
+		return fmt.Errorf("%w: %s.thermal_ceiling_mhz: %d MHz is not on the DDR3 ladder %v",
+			ErrInvalidConfig, prefix, c, config.BusFrequencies)
+	}
+	if fc.InjectPanic && fc.PanicEpoch < 0 {
+		return fmt.Errorf("%w: %s.panic_epoch: must be >= 0 when inject_panic is set, got %d",
+			ErrInvalidConfig, prefix, fc.PanicEpoch)
+	}
+	// Backstop: the fault plane's own validation guards any constraint
+	// added there before this mirror learns its field path.
+	if err := fc.internal().Validate(); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrInvalidConfig, prefix, err)
 	}
 	return nil
 }
@@ -374,7 +429,7 @@ func Run(rc RunConfig) (RunSummary, error) {
 // RunConfig executed anywhere else — inside a Sweep, on any worker
 // count, or via the deprecated Run.
 func RunContext(ctx context.Context, rc RunConfig) (RunSummary, error) {
-	if err := rc.validate(); err != nil {
+	if err := rc.Validate(); err != nil {
 		return RunSummary{}, err
 	}
 	job, err := rc.withDefaults().job()
@@ -433,8 +488,24 @@ func WriteTelemetry(w io.Writer, sums ...RunSummary) error {
 	return telemetry.WriteJSONL(w, exports...)
 }
 
+// TelemetrySchemaVersion is the JSONL interchange format version
+// ("MAJOR.MINOR") that WriteTelemetry stamps on every run record.
+// Minor bumps only add fields, which older readers ignore; a major
+// bump means the record shapes changed incompatibly. ReadTelemetry
+// therefore accepts any stream whose major version matches its own
+// (including unversioned pre-1.1 streams, which read as "1.0") and
+// rejects the rest with a *SchemaVersionError.
+const TelemetrySchemaVersion = telemetry.SchemaVersion
+
+// SchemaVersionError is the typed error ReadTelemetry returns for a
+// stream written by an incompatible (different-major) schema version;
+// match it with errors.As.
+type SchemaVersionError = telemetry.SchemaVersionError
+
 // ReadTelemetry parses a JSONL telemetry stream written by
 // WriteTelemetry (or by cmd/memscale-sim's -telemetry-out flag).
+// Streams from an incompatible schema major version fail with a
+// *SchemaVersionError (see TelemetrySchemaVersion).
 func ReadTelemetry(r io.Reader) ([]*TelemetryExport, error) {
 	return telemetry.ReadJSONL(r)
 }

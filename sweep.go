@@ -81,7 +81,16 @@ func Grid(base RunConfig, mixes, policies []string) []RunConfig {
 // (match with errors.Is against ErrUnknownMix, ErrUnknownPolicy,
 // ErrInvalidConfig, or ctx.Err()) without stopping the other jobs.
 // Cancelling ctx stops the sweep promptly, mid-simulation if needed.
+//
+// An empty grid is an error, not a silent zero-job success: a Grid
+// built from empty mix or policy lists (a typo'd filter, an empty
+// flag) surfaces ErrInvalidConfig instead of returning no summaries
+// with a nil error.
 func Sweep(ctx context.Context, sc SweepConfig) ([]RunSummary, error) {
+	if len(sc.Runs) == 0 {
+		return nil, fmt.Errorf("%w: runs: sweep has no runs (Grid over empty mixes or policies produces none)",
+			ErrInvalidConfig)
+	}
 	sums := make([]RunSummary, len(sc.Runs))
 	errs := make([]error, len(sc.Runs))
 
@@ -90,7 +99,7 @@ func Sweep(ctx context.Context, sc SweepConfig) ([]RunSummary, error) {
 	var jobs []runner.Job
 	var jobIdx []int // jobs[k] corresponds to sc.Runs[jobIdx[k]]
 	for i, rc := range sc.Runs {
-		if err := rc.validate(); err != nil {
+		if err := rc.Validate(); err != nil {
 			errs[i] = err
 			continue
 		}

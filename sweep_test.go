@@ -188,3 +188,83 @@ func TestRunIsRunContextWrapper(t *testing.T) {
 		t.Error("Run and RunContext disagree on the same RunConfig")
 	}
 }
+
+// TestSweepEmptyGridIsError: an empty grid (e.g. Grid over empty mix
+// or policy lists) must surface ErrInvalidConfig, not succeed with
+// zero jobs.
+func TestSweepEmptyGridIsError(t *testing.T) {
+	for name, runs := range map[string][]RunConfig{
+		"nil runs":       nil,
+		"empty runs":     {},
+		"empty mixes":    Grid(RunConfig{}, nil, []string{"MemScale"}),
+		"empty policies": Grid(RunConfig{}, []string{"MID1"}, nil),
+	} {
+		sums, err := Sweep(context.Background(), SweepConfig{Runs: runs})
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: Sweep = (%v, %v), want ErrInvalidConfig", name, sums, err)
+		}
+		if len(sums) != 0 {
+			t.Errorf("%s: empty sweep returned %d summaries", name, len(sums))
+		}
+	}
+}
+
+// TestGridEdgeCases: degenerate inputs produce exactly the expected
+// (possibly empty) job lists, and single-axis grids keep their order.
+func TestGridEdgeCases(t *testing.T) {
+	if g := Grid(RunConfig{}, nil, nil); len(g) != 0 {
+		t.Errorf("Grid(nil, nil) has %d entries", len(g))
+	}
+	if g := Grid(RunConfig{}, []string{"MID1"}, nil); len(g) != 0 {
+		t.Errorf("Grid with no policies has %d entries", len(g))
+	}
+	g := Grid(RunConfig{Epochs: 2}, []string{"MID1"}, []string{"MemScale", "Static", "Fast-PD"})
+	if len(g) != 3 {
+		t.Fatalf("single-mix grid has %d entries, want 3", len(g))
+	}
+	for i, want := range []string{"MemScale", "Static", "Fast-PD"} {
+		if g[i].Policy != want || g[i].Mix != "MID1" || g[i].Epochs != 2 {
+			t.Errorf("entry %d = %+v, want MID1/%s", i, g[i], want)
+		}
+	}
+	// Duplicate axis values are preserved, not deduplicated: callers
+	// own their grids.
+	if g := Grid(RunConfig{}, []string{"MID1", "MID1"}, []string{"Static"}); len(g) != 2 {
+		t.Errorf("duplicate mixes collapsed: %d entries, want 2", len(g))
+	}
+}
+
+// TestSweepProgressOrderingParallel: under a parallel runner the
+// Completed counter must still arrive strictly increasing 1..N with
+// every index reported exactly once — the callback is serialized even
+// though jobs finish out of order.
+func TestSweepProgressOrderingParallel(t *testing.T) {
+	runs := Grid(RunConfig{Epochs: 1, Cores: 2, Channels: 1},
+		[]string{"ILP1", "MID1"}, []string{"Static", "Fast-PD", "MemScale"})
+	seen := map[int]int{}
+	var completed []int
+	_, err := Sweep(context.Background(), SweepConfig{
+		Runs:    runs,
+		Workers: 4,
+		Progress: func(p SweepProgress) {
+			completed = append(completed, p.Completed)
+			seen[p.Index]++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range completed {
+		if c != i+1 {
+			t.Fatalf("completed sequence %v is not strictly increasing 1..N", completed)
+		}
+	}
+	if len(seen) != len(runs) {
+		t.Fatalf("%d distinct indices reported, want %d", len(seen), len(runs))
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("index %d reported %d times", idx, n)
+		}
+	}
+}

@@ -3,8 +3,10 @@ package memscale
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -152,5 +154,62 @@ func TestTelemetrySweepAggregation(t *testing.T) {
 	}
 	if h := ro.Histograms["read_latency"]; h == nil || h.Count == 0 {
 		t.Error("rollup lost the merged read-latency histogram")
+	}
+}
+
+// TestTelemetrySchemaVersion: WriteTelemetry stamps the interchange
+// version on every run record; ReadTelemetry accepts matching-major
+// streams (including unversioned pre-1.1 ones) and rejects foreign
+// majors with the typed error.
+func TestTelemetrySchemaVersion(t *testing.T) {
+	sum, err := Run(telemetryRC(&TelemetryConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTelemetry(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.String()
+	if !strings.Contains(wire, `"schema_version":"`+TelemetrySchemaVersion+`"`) {
+		t.Fatalf("stream is not stamped with schema version %s:\n%.200s",
+			TelemetrySchemaVersion, wire)
+	}
+	if sum.Telemetry.SchemaVersion != "" {
+		t.Error("WriteTelemetry mutated the caller's export")
+	}
+
+	runs, err := ReadTelemetry(strings.NewReader(wire))
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("ReadTelemetry = (%d runs, %v)", len(runs), err)
+	}
+	if runs[0].SchemaVersion != TelemetrySchemaVersion {
+		t.Errorf("read back version %q", runs[0].SchemaVersion)
+	}
+
+	// Unversioned streams predate the stamp and read as 1.0 — same
+	// major, accepted.
+	legacy := strings.Replace(wire, `"schema_version":"`+TelemetrySchemaVersion+`",`, "", 1)
+	if _, err := ReadTelemetry(strings.NewReader(legacy)); err != nil {
+		t.Errorf("unversioned stream rejected: %v", err)
+	}
+
+	// A future major is incompatible by definition.
+	future := strings.Replace(wire, `"schema_version":"`+TelemetrySchemaVersion+`"`,
+		`"schema_version":"2.0"`, 1)
+	_, err = ReadTelemetry(strings.NewReader(future))
+	var sv *SchemaVersionError
+	if !errors.As(err, &sv) {
+		t.Fatalf("major-2 stream: err = %v, want *SchemaVersionError", err)
+	}
+	if sv.Version != "2.0" || sv.Line != 1 {
+		t.Errorf("error detail = %+v", sv)
+	}
+
+	// Minor skew within the major stays readable.
+	minor := strings.Replace(wire, `"schema_version":"`+TelemetrySchemaVersion+`"`,
+		`"schema_version":"1.999"`, 1)
+	if _, err := ReadTelemetry(strings.NewReader(minor)); err != nil {
+		t.Errorf("minor-skewed stream rejected: %v", err)
 	}
 }

@@ -1,0 +1,153 @@
+package memscale
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunConfigValidateFieldPaths checks that every rejection names
+// the offending field with its snake_case path, so callers can surface
+// the exact field without parsing prose.
+func TestRunConfigValidateFieldPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		rc   RunConfig
+		path string
+	}{
+		{"negative epochs", RunConfig{Epochs: -1}, "epochs"},
+		{"gamma at one", RunConfig{Gamma: 1}, "gamma"},
+		{"gamma negative", RunConfig{Gamma: -0.1}, "gamma"},
+		{"negative cores", RunConfig{Cores: -4}, "cores"},
+		{"negative channels", RunConfig{Channels: -1}, "channels"},
+		{"storm rate over one",
+			RunConfig{Faults: &FaultConfig{RefreshStormRate: 1.5}}, "faults.storm_rate"},
+		{"negative relock rate",
+			RunConfig{Faults: &FaultConfig{RelockFailRate: -0.2}}, "faults.relock_rate"},
+		{"corrupt rate over one",
+			RunConfig{Faults: &FaultConfig{CounterCorruptRate: 2}}, "faults.corrupt_rate"},
+		{"thermal rate over one",
+			RunConfig{Faults: &FaultConfig{ThermalRate: 7}}, "faults.thermal_rate"},
+		{"abort rate over one",
+			RunConfig{Faults: &FaultConfig{TransientAbortRate: 1.01}}, "faults.abort_rate"},
+		{"negative storm bursts",
+			RunConfig{Faults: &FaultConfig{RefreshStormBursts: -1}}, "faults.storm_bursts"},
+		{"negative relock retries",
+			RunConfig{Faults: &FaultConfig{RelockMaxRetries: -2}}, "faults.relock_max_retries"},
+		{"negative relock backoff",
+			RunConfig{Faults: &FaultConfig{RelockBackoff: -time.Nanosecond}}, "faults.relock_backoff"},
+		{"off-ladder thermal ceiling",
+			RunConfig{Faults: &FaultConfig{ThermalCeilingMHz: 123}}, "faults.thermal_ceiling_mhz"},
+		{"negative thermal window",
+			RunConfig{Faults: &FaultConfig{ThermalWindowEpochs: -1}}, "faults.thermal_window_epochs"},
+		{"negative run retries",
+			RunConfig{Faults: &FaultConfig{MaxRunRetries: -1}}, "faults.max_run_retries"},
+		{"negative panic epoch",
+			RunConfig{Faults: &FaultConfig{InjectPanic: true, PanicEpoch: -1}}, "faults.panic_epoch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.rc.Validate()
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("Validate() = %v, want ErrInvalidConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.path) {
+				t.Errorf("error %q does not name field path %q", err, tc.path)
+			}
+		})
+	}
+}
+
+// TestRunConfigValidateAccepts: zero values and sane settings pass.
+func TestRunConfigValidateAccepts(t *testing.T) {
+	good := []RunConfig{
+		{},
+		{Mix: "MID1", Policy: "MemScale"},
+		{Epochs: 3, Gamma: 0.25, Cores: 4, Channels: 2},
+		{Faults: &FaultConfig{RefreshStormRate: 0.5, ThermalCeilingMHz: 400}},
+	}
+	for i, rc := range good {
+		if err := rc.Validate(); err != nil {
+			t.Errorf("case %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestValidateMatchesRunContext: a config Validate rejects must be
+// rejected identically by RunContext (Validate is the same gate the
+// runners use, not a parallel reimplementation).
+func TestValidateMatchesRunContext(t *testing.T) {
+	rc := RunConfig{Mix: "MID1", Epochs: -1}
+	verr := rc.Validate()
+	_, rerr := RunContext(context.Background(), rc)
+	if verr == nil || rerr == nil {
+		t.Fatalf("Validate = %v, RunContext = %v; both must fail", verr, rerr)
+	}
+	if verr.Error() != rerr.Error() {
+		t.Errorf("Validate error %q != RunContext error %q", verr, rerr)
+	}
+}
+
+// TestFleetConfigValidateFieldPaths mirrors the run-config contract
+// for the fleet surface, including indexed group paths.
+func TestFleetConfigValidateFieldPaths(t *testing.T) {
+	okGroup := NodeGroup{Name: "g", Nodes: 1, Mix: "MID1"}
+	cases := []struct {
+		name string
+		fc   FleetConfig
+		path string
+	}{
+		{"no groups", FleetConfig{}, "groups"},
+		{"negative epochs", FleetConfig{Groups: []NodeGroup{okGroup}, Epochs: -1}, "epochs"},
+		{"negative budget", FleetConfig{Groups: []NodeGroup{okGroup}, PowerBudgetW: -5}, "power_budget_w"},
+		{"negative cap interval",
+			FleetConfig{Groups: []NodeGroup{okGroup}, CapIntervalEpochs: -1}, "cap_interval_epochs"},
+		{"zero nodes",
+			FleetConfig{Groups: []NodeGroup{{Mix: "MID1"}}}, "groups[0].nodes"},
+		{"second group bad nodes",
+			FleetConfig{Groups: []NodeGroup{okGroup, {Mix: "MID1"}}}, "groups[1].nodes"},
+		{"bad gamma",
+			FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "MID1", Gamma: 1.2}}}, "groups[0].gamma"},
+		{"bad arrival",
+			FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "MID1",
+				Arrival: ArrivalConfig{Kind: "nope"}}}}, "groups[0].arrival"},
+		{"bad burst probability",
+			FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "MID1",
+				Arrival: ArrivalConfig{Kind: ArrivalBursty, BurstProbability: 2}}}},
+			"groups[0].arrival: burst_probability"},
+		{"bad fault rate",
+			FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "MID1",
+				Faults: &FaultConfig{ThermalRate: 9}}}}, "groups[0].faults.thermal_rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.fc.Validate()
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("Validate() = %v, want ErrInvalidConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.path) {
+				t.Errorf("error %q does not name field path %q", err, tc.path)
+			}
+		})
+	}
+}
+
+// TestFleetConfigValidateSentinels: unknown names match their specific
+// sentinels as well as ErrInvalidConfig.
+func TestFleetConfigValidateSentinels(t *testing.T) {
+	err := FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "BOGUS"}}}.Validate()
+	if !errors.Is(err, ErrUnknownMix) || !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("unknown mix error %v must match ErrUnknownMix and ErrInvalidConfig", err)
+	}
+	err = FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "MID1", Policy: "BOGUS"}}}.Validate()
+	if !errors.Is(err, ErrUnknownPolicy) || !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("unknown policy error %v must match ErrUnknownPolicy and ErrInvalidConfig", err)
+	}
+	ok := FleetConfig{Groups: []NodeGroup{{Nodes: 2, Mix: "MID1", Policy: "MemScale",
+		Arrival: ArrivalConfig{Kind: ArrivalPoisson}}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid fleet config rejected: %v", err)
+	}
+}

@@ -239,6 +239,67 @@ func BenchmarkSweepSpeedup(b *testing.B) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
+// BenchmarkForkedSweep times a 16-variant gamma sweep (one mix, one
+// policy, 4 epochs each) cold and warm-started from a shared 3-epoch
+// prefix, and reports the wall-clock ratio as "warm-speedup-x". With
+// the baseline pre-warmed outside the timed region, the cold sweep
+// simulates 16x4 managed epochs while the warm sweep simulates 3
+// shared prefix epochs plus 16x1 variant epochs — a 64/19 = 3.4x
+// ideal ratio. The CI benchmark guard enforces a 1.8x floor, leaving
+// ample headroom for scheduling noise and steady-state epochs costing
+// more than boot epochs while still catching any loss of prefix
+// sharing (which would drag the ratio to 1).
+func BenchmarkForkedSweep(b *testing.B) {
+	mix, err := workload.ByName("MID1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := policies.ByName("MemScale")
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]runner.Job, 16)
+	for i := range jobs {
+		jobs[i] = runner.Job{
+			Mix: mix, Spec: spec, Epochs: 4, Cores: 4, Channels: 2,
+			Gamma: 0.02 + 0.01*float64(i),
+		}
+	}
+	// One shared cache, pre-warmed: all 16 variants pair against the
+	// same gamma-independent baseline, so neither timed phase simulates
+	// it and the ratio isolates the managed runs.
+	ctx := context.Background()
+	eng := runner.New(runner.Options{Workers: 1, Cache: runner.NewBaselineCache()})
+	if _, err := eng.Run(ctx, jobs[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cold, warm time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, errs := eng.RunEach(ctx, jobs); firstErr(errs) != nil {
+			b.Fatal(firstErr(errs))
+		}
+		cold += time.Since(start)
+		start = time.Now()
+		if _, errs := eng.RunEachWarm(ctx, jobs, 3); firstErr(errs) != nil {
+			b.Fatal(firstErr(errs))
+		}
+		warm += time.Since(start)
+	}
+	b.ReportMetric(cold.Seconds()/warm.Seconds(), "warm-speedup-x")
+	b.ReportMetric(float64(runner.WarmGroups(jobs, 3)), "warm-groups")
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // BenchmarkBaselineCacheHitRate runs the Figure 9-11 shape of grid —
 // many policies paired against few distinct baselines — through one
 // engine and reports the cache hit rate. Each distinct baseline

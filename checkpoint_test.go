@@ -1,0 +1,220 @@
+package memscale
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// goldenConfigs are the five pinned determinism cases from
+// TestGoldenDeterminism — including the fault-injected one, which
+// exercises relock stalls, refresh storms, thermal caps, and degraded
+// bookkeeping across the checkpoint boundary.
+func goldenConfigs() []RunConfig {
+	return []RunConfig{
+		{Mix: "MEM1", Policy: "MemScale", Epochs: 2},
+		{Mix: "ILP1", Policy: "Static", Epochs: 2},
+		{Mix: "MID2", Policy: "MemScale + Fast-PD", Epochs: 2},
+		{Mix: "MID3", Policy: "Slow-PD", Epochs: 2},
+		{Mix: "MID1", Policy: "MemScale", Epochs: 4, Faults: &FaultConfig{
+			Seed:               42,
+			RefreshStormRate:   0.5,
+			RelockFailRate:     0.5,
+			CounterCorruptRate: 0.3,
+			ThermalRate:        0.3,
+		}},
+	}
+}
+
+// sameBits asserts two summaries are Float64bits-identical in every
+// numeric field a paired run reports.
+func sameBits(t *testing.T, label string, cold, got RunSummary) {
+	t.Helper()
+	check := func(name string, a, b float64) {
+		t.Helper()
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Errorf("%s: %s = %v (%#x), cold run had %v (%#x)",
+				label, name, b, math.Float64bits(b), a, math.Float64bits(a))
+		}
+	}
+	check("DurationSeconds", cold.DurationSeconds, got.DurationSeconds)
+	check("MemoryEnergyJ", cold.MemoryEnergyJ, got.MemoryEnergyJ)
+	check("SystemEnergyJ", cold.SystemEnergyJ, got.SystemEnergyJ)
+	check("MemorySavings", cold.MemorySavings, got.MemorySavings)
+	check("SystemSavings", cold.SystemSavings, got.SystemSavings)
+	check("AvgCPIIncrease", cold.AvgCPIIncrease, got.AvgCPIIncrease)
+	check("WorstCPIIncrease", cold.WorstCPIIncrease, got.WorstCPIIncrease)
+	if len(got.FreqSeconds) != len(cold.FreqSeconds) {
+		t.Errorf("%s: FreqSeconds has %d entries, cold run had %d",
+			label, len(got.FreqSeconds), len(cold.FreqSeconds))
+	}
+	for f, v := range cold.FreqSeconds {
+		check(fmt.Sprintf("FreqSeconds[%d]", f), v, got.FreqSeconds[f])
+	}
+	if len(got.FaultCounts) != len(cold.FaultCounts) {
+		t.Errorf("%s: FaultCounts = %v, cold run had %v", label, got.FaultCounts, cold.FaultCounts)
+	}
+	for k, v := range cold.FaultCounts {
+		if got.FaultCounts[k] != v {
+			t.Errorf("%s: FaultCounts[%s] = %d, cold run had %d", label, k, got.FaultCounts[k], v)
+		}
+	}
+	if got.DegradedEpochs != cold.DegradedEpochs {
+		t.Errorf("%s: DegradedEpochs = %d, cold run had %d", label, got.DegradedEpochs, cold.DegradedEpochs)
+	}
+	if got.Attempts != cold.Attempts {
+		t.Errorf("%s: Attempts = %d, cold run had %d", label, got.Attempts, cold.Attempts)
+	}
+	if got.Events != cold.Events {
+		t.Errorf("%s: Events = %d, cold run had %d", label, got.Events, cold.Events)
+	}
+}
+
+// TestForkEquivalence is the checkpoint subsystem's core property: for
+// every golden config, snapshotting mid-run and resuming through the
+// serialized container reproduces the cold run bit for bit — energies,
+// CPI increases, residencies, fault counts, and the fired-event total.
+func TestForkEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, rc := range goldenConfigs() {
+		rc := rc
+		t.Run(rc.Mix+"/"+rc.Policy, func(t *testing.T) {
+			t.Parallel()
+			cold, err := RunContext(ctx, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Snapshot at the midpoint; the checkpointed run itself must
+			// already match the cold run (StepEpoch driving and the Save
+			// call must not perturb the event sequence).
+			at := rc.Epochs / 2
+			var buf bytes.Buffer
+			ckSum, err := CheckpointRun(ctx, rc, at, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBits(t, "checkpointed run", cold, ckSum)
+
+			// Resume from the serialized container to the full length.
+			resumed, err := ResumeRun(ctx, bytes.NewReader(buf.Bytes()), rc.Epochs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBits(t, "resumed run", cold, resumed)
+		})
+	}
+}
+
+// TestCheckpointRoundTrip covers the container format edges: final-
+// epoch checkpoints resume with more epochs, and the typed failure
+// modes surface as documented.
+func TestCheckpointRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	rc := RunConfig{Mix: "MID1", Policy: "MemScale", Epochs: 2, Cores: 4, Channels: 2}
+
+	var buf bytes.Buffer
+	if _, err := CheckpointRun(ctx, rc, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Extending the run from its final epoch must match the cold run of
+	// the longer horizon bit for bit.
+	long := rc
+	long.Epochs = 4
+	cold, err := RunContext(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeRun(ctx, bytes.NewReader(buf.Bytes()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "extended run", cold, resumed)
+
+	t.Run("epochs not beyond snapshot", func(t *testing.T) {
+		_, err := ResumeRun(ctx, bytes.NewReader(buf.Bytes()), 2)
+		if !errors.Is(err, ErrInvalidConfig) || !strings.Contains(err.Error(), "resume.epochs") {
+			t.Fatalf("err = %v, want ErrInvalidConfig naming resume.epochs", err)
+		}
+	})
+	t.Run("at_epoch out of range", func(t *testing.T) {
+		var sink bytes.Buffer
+		_, err := CheckpointRun(ctx, rc, 99, &sink)
+		if !errors.Is(err, ErrInvalidConfig) || !strings.Contains(err.Error(), "checkpoint.at_epoch") {
+			t.Fatalf("err = %v, want ErrInvalidConfig naming checkpoint.at_epoch", err)
+		}
+	})
+	t.Run("corrupt container", func(t *testing.T) {
+		_, err := ResumeRun(ctx, strings.NewReader("not a checkpoint\n"), 4)
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+		}
+	})
+	t.Run("mismatched state", func(t *testing.T) {
+		// Hand-edit the container's geometry: the state no longer fits
+		// the configuration it claims to pair with.
+		tampered := bytes.Replace(buf.Bytes(), []byte(`"Cores":4`), []byte(`"Cores":8`), 1)
+		if bytes.Equal(tampered, buf.Bytes()) {
+			t.Fatal("tamper target not found in container")
+		}
+		_, err := ResumeRun(ctx, bytes.NewReader(tampered), 4)
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("err = %v, want ErrInvalidConfig for mismatched state", err)
+		}
+	})
+}
+
+// TestWarmStartSweep exercises the forked warm-start path end to end:
+// a gamma sweep over one mix forks every variant from one shared
+// unmanaged prefix, produces valid summaries, and is itself
+// deterministic (two warm sweeps agree bit for bit).
+func TestWarmStartSweep(t *testing.T) {
+	ctx := context.Background()
+	runs := []RunConfig{
+		{Mix: "MID1", Policy: "MemScale", Epochs: 2, Gamma: 0.05, Cores: 4, Channels: 2},
+		{Mix: "MID1", Policy: "MemScale", Epochs: 2, Gamma: 0.10, Cores: 4, Channels: 2},
+		{Mix: "MID1", Policy: "Static", Epochs: 2, Cores: 4, Channels: 2},
+	}
+	sc := SweepConfig{Runs: runs, WarmStart: &WarmStartConfig{PrefixEpochs: 1}}
+	sums, err := Sweep(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sums {
+		if s.DurationSeconds <= 0 || s.Events == 0 {
+			t.Errorf("run %d: degenerate warm-started summary %+v", i, s)
+		}
+	}
+	again, err := Sweep(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sums {
+		sameBits(t, fmt.Sprintf("warm sweep run %d re-run", i), sums[i], again[i])
+	}
+
+	t.Run("prefix must fit", func(t *testing.T) {
+		_, err := Sweep(ctx, SweepConfig{Runs: runs, WarmStart: &WarmStartConfig{PrefixEpochs: 2}})
+		if !errors.Is(err, ErrInvalidConfig) || !strings.Contains(err.Error(), "warm_start.prefix_epochs") {
+			t.Fatalf("err = %v, want ErrInvalidConfig naming warm_start.prefix_epochs", err)
+		}
+	})
+	t.Run("prefix must be positive", func(t *testing.T) {
+		_, err := Sweep(ctx, SweepConfig{Runs: runs, WarmStart: &WarmStartConfig{}})
+		if !errors.Is(err, ErrInvalidConfig) || !strings.Contains(err.Error(), "warm_start.prefix_epochs") {
+			t.Fatalf("err = %v, want ErrInvalidConfig naming warm_start.prefix_epochs", err)
+		}
+	})
+	t.Run("empty mix is a zero group key", func(t *testing.T) {
+		bad := []RunConfig{{Policy: "MemScale", Epochs: 2}}
+		_, err := Sweep(ctx, SweepConfig{Runs: bad, WarmStart: &WarmStartConfig{PrefixEpochs: 1}})
+		if !errors.Is(err, ErrInvalidConfig) || !strings.Contains(err.Error(), "zero warm-up group key") {
+			t.Fatalf("err = %v, want ErrInvalidConfig naming the zero group key", err)
+		}
+	})
+}

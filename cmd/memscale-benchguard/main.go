@@ -18,9 +18,15 @@
 // actually emitted the metric, so benchmarks that do not report it
 // cannot trip the guard.
 //
+// Besides ceilings, the guard enforces minimum floors on custom
+// metrics — e.g. BenchmarkForkedSweep must keep its warm-speedup-x at
+// or above 1.8, so losing the warm-start fast path fails CI. A floor
+// is only enforced when the run emitted the metric.
+//
 // Budgets default to the tables below; override per benchmark with
-// -max-allocs 'BenchmarkSingleRun=10000' and
-// -max-events 'BenchmarkSingleRun=4500000'.
+// -max-allocs 'BenchmarkSingleRun=10000',
+// -max-events 'BenchmarkSingleRun=4500000', and
+// -min-metrics 'BenchmarkForkedSweep=warm-speedup-x:1.8'.
 package main
 
 import (
@@ -68,6 +74,16 @@ var defaultEventBudgets = map[string]float64{
 	"BenchmarkFleet": 70_000_000,
 }
 
+// defaultMinMetrics are custom-metric floors keyed by benchmark name:
+// a run that reports the metric below its floor is a regression. The
+// forked-sweep floor guards the checkpoint subsystem's headline win —
+// a 16-variant sweep forked from a shared 50% warm-up prefix has an
+// ideal 1.88x speedup over the cold sweep; 1.8x leaves noise headroom
+// while catching any loss of prefix sharing.
+var defaultMinMetrics = map[string]map[string]float64{
+	"BenchmarkForkedSweep": {"warm-speedup-x": 1.8},
+}
+
 type result struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	AllocsPerOp int64              `json:"allocs_per_op"`
@@ -76,13 +92,14 @@ type result struct {
 }
 
 type report struct {
-	Benchmarks   map[string]result  `json:"benchmarks"`
-	Baseline     map[string]result  `json:"baseline"`
-	Budgets      map[string]int64   `json:"budgets_allocs_per_op"`
-	EventBudgets map[string]float64 `json:"budgets_events_per_op,omitempty"`
-	Improve      map[string]float64 `json:"speedup_vs_baseline,omitempty"`
-	EventsRatio  map[string]float64 `json:"events_reduction_vs_baseline,omitempty"`
-	Violations   []string           `json:"violations"`
+	Benchmarks   map[string]result             `json:"benchmarks"`
+	Baseline     map[string]result             `json:"baseline"`
+	Budgets      map[string]int64              `json:"budgets_allocs_per_op"`
+	EventBudgets map[string]float64            `json:"budgets_events_per_op,omitempty"`
+	MinMetrics   map[string]map[string]float64 `json:"min_metrics,omitempty"`
+	Improve      map[string]float64            `json:"speedup_vs_baseline,omitempty"`
+	EventsRatio  map[string]float64            `json:"events_reduction_vs_baseline,omitempty"`
+	Violations   []string                      `json:"violations"`
 }
 
 // parseLine decodes one `go test -bench` result line, e.g.
@@ -162,12 +179,41 @@ func parseEventBudgets(spec string, into map[string]float64) error {
 	return nil
 }
 
+// parseMinMetrics decodes 'Name=metric:floor,Name=metric:floor'
+// specs into the floor table.
+func parseMinMetrics(spec string, into map[string]map[string]float64) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, rest, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			return fmt.Errorf("min metric %q is not Name=metric:floor", part)
+		}
+		metric, val, found := strings.Cut(rest, ":")
+		if !found {
+			return fmt.Errorf("min metric %q is not Name=metric:floor", part)
+		}
+		n, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("min metric %q: %v", part, err)
+		}
+		if into[name] == nil {
+			into[name] = map[string]float64{}
+		}
+		into[name][metric] = n
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_5.json", "write the JSON benchmark report to this file")
 	budgetSpec := flag.String("max-allocs", "",
 		"extra allocs/op budgets as 'Name=N,Name=N' (override or extend the defaults)")
 	eventSpec := flag.String("max-events", "",
 		"extra events/op budgets as 'Name=N,Name=N' (override or extend the defaults)")
+	minSpec := flag.String("min-metrics", "",
+		"extra custom-metric floors as 'Name=metric:floor,...' (override or extend the defaults)")
 	flag.Parse()
 
 	budgets := make(map[string]int64, len(defaultBudgets))
@@ -186,12 +232,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memscale-benchguard:", err)
 		os.Exit(2)
 	}
+	minMetrics := make(map[string]map[string]float64, len(defaultMinMetrics))
+	for name, floors := range defaultMinMetrics {
+		minMetrics[name] = map[string]float64{}
+		for m, v := range floors {
+			minMetrics[name][m] = v
+		}
+	}
+	if err := parseMinMetrics(*minSpec, minMetrics); err != nil {
+		fmt.Fprintln(os.Stderr, "memscale-benchguard:", err)
+		os.Exit(2)
+	}
 
 	rep := report{
 		Benchmarks:   map[string]result{},
 		Baseline:     bench4Baseline,
 		Budgets:      budgets,
 		EventBudgets: eventBudgets,
+		MinMetrics:   minMetrics,
 		Improve:      map[string]float64{},
 		EventsRatio:  map[string]float64{},
 		Violations:   []string{},
@@ -242,6 +300,22 @@ func main() {
 		if ev > budget {
 			rep.Violations = append(rep.Violations, fmt.Sprintf(
 				"%s fired %.0f events/op, budget %.0f", name, ev, budget))
+		}
+	}
+	for name, floors := range minMetrics {
+		r, ran := rep.Benchmarks[name]
+		if !ran {
+			continue
+		}
+		for metric, floor := range floors {
+			v, reported := r.Metrics[metric]
+			if !reported {
+				continue // floors only bind when the run emitted the metric
+			}
+			if v < floor {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"%s reported %s = %.3f, floor %.3f", name, metric, v, floor))
+			}
 		}
 	}
 

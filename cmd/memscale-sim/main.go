@@ -6,6 +6,8 @@
 //
 //	memscale-sim -mix MID1 [-policy MemScale] [-epochs 10]
 //	             [-gamma 0.10] [-cores 16] [-channels 4] [-timeline]
+//	             [-checkpoint-out run.ckpt [-checkpoint-epoch K]]
+//	             [-restore run.ckpt]
 //	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	             [-blockprofile block.pprof]
 //	             [-fault-seed N -fault-storm-rate P -fault-relock-rate P
@@ -16,6 +18,14 @@
 // the same seed and rates reproduce the same disturbance schedule,
 // fault counts, and energy totals.
 //
+// -checkpoint-out captures the run's full simulation state to a
+// container file (at the final epoch by default, or after
+// -checkpoint-epoch epochs); -restore continues a checkpointed run to
+// -epochs total quanta, bit-identical to the uninterrupted run. A long
+// run interrupted by a crash or Ctrl-C resumes from its last written
+// container instead of starting over; -restore ignores the workload,
+// policy, and fault flags (the container records them).
+//
 // The -*profile flags write pprof profiles of the simulation for
 // `go tool pprof`: CPU samples over the whole run, the live heap at
 // exit (after the run, so steady-state retention is visible), and
@@ -25,6 +35,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -46,6 +57,12 @@ func main() {
 	cores := flag.Int("cores", 0, "core count override (default 16)")
 	channels := flag.Int("channels", 0, "channel count override (default 4)")
 	timeline := flag.Bool("timeline", false, "print the per-epoch frequency/CPI timeline")
+	checkpointOut := flag.String("checkpoint-out", "",
+		"write the run's full simulation state to this container file (resume it with -restore)")
+	checkpointEpoch := flag.Int("checkpoint-epoch", 0,
+		"epoch boundary to capture the -checkpoint-out state at (default: the final epoch)")
+	restore := flag.String("restore", "",
+		"resume a checkpointed run from this container file to -epochs total quanta")
 	telemetryOut := flag.String("telemetry-out", "",
 		"collect full telemetry (with events) and write it as JSONL to this file; read it with memscale-report")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
@@ -131,7 +148,30 @@ func main() {
 			TransientAbortRate: *abortRate,
 		}
 	}
-	sum, err := memscale.RunContext(ctx, rc)
+	var sum memscale.RunSummary
+	var err error
+	switch {
+	case *restore != "":
+		var f *os.File
+		if f, err = os.Open(*restore); err != nil {
+			fatal(err)
+		}
+		sum, err = memscale.ResumeRun(ctx, f, *epochs)
+		f.Close()
+		if err == nil {
+			fmt.Printf("resumed from %s\n", *restore)
+		}
+	case *checkpointOut != "":
+		var buf bytes.Buffer
+		sum, err = memscale.CheckpointRun(ctx, rc, *checkpointEpoch, &buf)
+		if err == nil {
+			if err = os.WriteFile(*checkpointOut, buf.Bytes(), 0o644); err == nil {
+				fmt.Printf("checkpoint written to %s\n", *checkpointOut)
+			}
+		}
+	default:
+		sum, err = memscale.RunContext(ctx, rc)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memscale-sim:", err)
 		os.Exit(1)

@@ -244,20 +244,41 @@ func RunFleet(ctx context.Context, fc FleetConfig) (FleetSummary, error) {
 	return fleet.Run(ctx, c)
 }
 
+// FleetSchemaVersion is the fleet-summary interchange format version
+// ("MAJOR.MINOR") WriteFleetSummary stamps on every summary. Minor
+// bumps only add fields, which older readers ignore; a major bump
+// means the summary shape changed incompatibly. ReadFleetSummary
+// therefore accepts any summary whose major version matches its own
+// (including unversioned pre-1.1 summaries, which read as "1.0") and
+// rejects the rest with a *FleetSchemaVersionError.
+const FleetSchemaVersion = fleet.SchemaVersion
+
+// FleetSchemaVersionError is the typed error ReadFleetSummary returns
+// for a summary written by an incompatible (different-major) schema
+// version; match it with errors.As.
+type FleetSchemaVersionError = fleet.SchemaVersionError
+
 // WriteFleetSummary writes the summary as indented JSON — the
-// interchange form cmd/memscale-report reads back with -fleet.
+// interchange form cmd/memscale-report reads back with -fleet — with
+// the current FleetSchemaVersion stamped on it.
 func WriteFleetSummary(w io.Writer, sum FleetSummary) error {
+	sum.SchemaVersion = FleetSchemaVersion
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(sum)
 }
 
 // ReadFleetSummary parses a JSON fleet summary written by
-// WriteFleetSummary (or cmd/memscale-fleet's -json flag).
+// WriteFleetSummary (or cmd/memscale-fleet's -json flag). Summaries
+// from an incompatible schema major version fail with a
+// *FleetSchemaVersionError (see FleetSchemaVersion).
 func ReadFleetSummary(r io.Reader) (FleetSummary, error) {
 	var sum FleetSummary
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&sum); err != nil {
+		return FleetSummary{}, fmt.Errorf("fleet summary: %w", err)
+	}
+	if err := fleet.CheckSchemaVersion(sum.SchemaVersion); err != nil {
 		return FleetSummary{}, fmt.Errorf("fleet summary: %w", err)
 	}
 	return sum, nil

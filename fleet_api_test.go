@@ -4,10 +4,48 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"strings"
 	"testing"
 )
+
+// TestFleetSummarySchemaVersion pins the interchange versioning
+// contract: writes stamp the current version, unversioned pre-1.1
+// summaries still read, and an unknown major version fails with the
+// typed error — never a mis-parsed summary.
+func TestFleetSummarySchemaVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFleetSummary(&buf, FleetSummary{Nodes: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema_version": "`+FleetSchemaVersion+`"`) {
+		t.Errorf("written summary is not stamped with %q:\n%s", FleetSchemaVersion, buf.String())
+	}
+	back, err := ReadFleetSummary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != FleetSchemaVersion || back.Nodes != 3 {
+		t.Errorf("round trip = %+v, want schema %q and 3 nodes", back, FleetSchemaVersion)
+	}
+
+	if _, err := ReadFleetSummary(strings.NewReader(`{"nodes":2}`)); err != nil {
+		t.Errorf("unversioned pre-1.1 summary rejected: %v", err)
+	}
+	if _, err := ReadFleetSummary(strings.NewReader(`{"schema_version":"1.9","nodes":2}`)); err != nil {
+		t.Errorf("same-major newer minor rejected: %v", err)
+	}
+
+	_, err = ReadFleetSummary(strings.NewReader(`{"schema_version":"2.0","nodes":2}`))
+	var sve *FleetSchemaVersionError
+	if !errors.As(err, &sve) {
+		t.Fatalf("unknown major: err = %v, want *FleetSchemaVersionError", err)
+	}
+	if sve.Version != "2.0" {
+		t.Errorf("error carries version %q, want \"2.0\"", sve.Version)
+	}
+}
 
 func quickFleet(workers int) FleetConfig {
 	return FleetConfig{

@@ -1,0 +1,201 @@
+// Package checkpoint serializes full simulation state to a versioned
+// container, in the spirit of gem5's checkpoint-based fast-forwarding:
+// capture every stateful layer at an epoch boundary, restore it
+// bit-identically, and fork variant runs from a shared warm-up prefix
+// instead of re-simulating it.
+//
+// The container is two JSON lines: a header naming the format and its
+// schema version, then the payload. JSON keeps the format inspectable
+// and diffable; Go's float64 encoding is shortest-round-trip, so every
+// accumulator restores to the exact bit pattern it was saved with.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"memscale/internal/config"
+	"memscale/internal/faults"
+	"memscale/internal/sim"
+)
+
+// Magic identifies the container format on the header line.
+const Magic = "memscale-checkpoint"
+
+// SchemaVersion is the container format version ("MAJOR.MINOR"). Minor
+// bumps only add fields, which older readers ignore; a major bump
+// means the payload shapes changed incompatibly. Decode accepts any
+// container whose major version matches and rejects the rest with a
+// *SchemaVersionError.
+const SchemaVersion = "1.0"
+
+// ErrCorruptCheckpoint reports container bytes that do not parse as a
+// checkpoint: truncation, wrong magic, malformed JSON. Matched with
+// errors.Is.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
+// SchemaVersionError reports a checkpoint written by an incompatible
+// (different-major) schema version; match it with errors.As.
+type SchemaVersionError struct {
+	Version string // the container's schema_version
+}
+
+// Error implements error.
+func (e *SchemaVersionError) Error() string {
+	return fmt.Sprintf("checkpoint schema version %q is incompatible with reader version %q",
+		e.Version, SchemaVersion)
+}
+
+// schemaMajor returns the MAJOR component of a version string; the
+// whole string when there is no dot.
+func schemaMajor(v string) string {
+	if i := strings.IndexByte(v, '.'); i >= 0 {
+		return v[:i]
+	}
+	return v
+}
+
+// header is the container's first line.
+type header struct {
+	Magic         string `json:"magic"`
+	SchemaVersion string `json:"schema_version"`
+}
+
+// Meta identifies the run a checkpoint was taken from: enough to
+// rebuild the trace streams, governor, and fault schedule around the
+// restored state without re-deriving them from flags.
+type Meta struct {
+	// Mix is the workload mix name the streams were built from.
+	Mix string `json:"mix"`
+
+	// Policy names the governing scheme (empty for an unmanaged run —
+	// a baseline or a warm-start prefix).
+	Policy string `json:"policy,omitempty"`
+
+	// Gamma is the allowed performance degradation the run used.
+	Gamma float64 `json:"gamma,omitempty"`
+
+	// NonMem is the calibrated rest-of-system power (watts).
+	NonMem float64 `json:"non_mem_w"`
+
+	// Epochs is the number of OS epochs completed at the snapshot.
+	Epochs int `json:"epochs"`
+
+	// Faults is the fault plane's configuration when the run injected
+	// disturbances, and Attempt the retry ordinal the surviving attempt
+	// ran under; together they let a resume rebuild the identical
+	// disturbance schedule.
+	Faults  *faults.Config `json:"faults,omitempty"`
+	Attempt int            `json:"attempt,omitempty"`
+}
+
+// Checkpoint is one captured simulation: identity, the exact
+// configuration it ran under, and the full state image.
+type Checkpoint struct {
+	Meta   Meta          `json:"meta"`
+	Config config.Config `json:"config"`
+
+	// Base is the configuration before the policy's Configure hook ran
+	// — the one the unmanaged baseline pairs against. A resume must
+	// calibrate its baseline from Base, not Config, to reproduce the
+	// cold run's pairing exactly.
+	Base config.Config `json:"base_config"`
+
+	State *sim.SystemState `json:"state"`
+}
+
+// Encode writes ck to w in the versioned two-line container format.
+func Encode(w io.Writer, ck *Checkpoint) error {
+	hdr, err := json.Marshal(header{Magic: Magic, SchemaVersion: SchemaVersion})
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	if _, err := w.Write(append(hdr, '\n')); err != nil {
+		return err
+	}
+	_, err = w.Write(append(body, '\n'))
+	return err
+}
+
+// Decode parses a container written by Encode. Corrupted or truncated
+// bytes yield an error wrapping ErrCorruptCheckpoint; a container from
+// an incompatible schema major version yields a *SchemaVersionError.
+// Decode never panics, whatever the input.
+func Decode(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	hdrLine, err := br.ReadBytes('\n')
+	if err != nil && (err != io.EOF || len(hdrLine) == 0) {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrCorruptCheckpoint, err)
+	}
+	var hdr header
+	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorruptCheckpoint, err)
+	}
+	if hdr.Magic != Magic {
+		return nil, fmt.Errorf("%w: magic %q, want %q", ErrCorruptCheckpoint, hdr.Magic, Magic)
+	}
+	if schemaMajor(hdr.SchemaVersion) != schemaMajor(SchemaVersion) {
+		return nil, &SchemaVersionError{Version: hdr.SchemaVersion}
+	}
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorruptCheckpoint, err)
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return nil, fmt.Errorf("%w: container has no payload", ErrCorruptCheckpoint)
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(body, ck); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorruptCheckpoint, err)
+	}
+	if ck.State == nil {
+		return nil, fmt.Errorf("%w: payload carries no state", ErrCorruptCheckpoint)
+	}
+	return ck, nil
+}
+
+// WriteFile atomically-ish writes the checkpoint to path (temp file in
+// the same directory, then rename), so a crash mid-write never leaves
+// a truncated container where a resumable one was expected.
+func WriteFile(path string, ck *Checkpoint) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Encode(tmp, ck); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile parses the checkpoint container at path.
+func ReadFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+func dirOf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i > 0 {
+		return path[:i]
+	}
+	return "."
+}

@@ -1,0 +1,59 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"memscale/internal/event"
+	"memscale/internal/memctrl"
+	"memscale/internal/sim"
+)
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the container parser.
+// The contract: Decode never panics, and every rejection is typed —
+// either it wraps ErrCorruptCheckpoint (truncation, bad magic,
+// malformed JSON) or it is a *SchemaVersionError (incompatible major
+// version). Whatever Decode accepts survives an encode/decode round
+// trip.
+func FuzzCheckpointDecode(f *testing.F) {
+	var valid bytes.Buffer
+	ck := &Checkpoint{
+		Meta:  Meta{Mix: "MID1", Policy: "MemScale", Epochs: 2, NonMem: 18.5},
+		State: &sim.SystemState{Events: &event.State{}, MC: &memctrl.ControllerState{}},
+	}
+	if err := Encode(&valid, ck); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("\n"))
+	f.Add([]byte(`{"magic":"memscale-checkpoint","schema_version":"1.0"}` + "\n"))
+	f.Add([]byte(`{"magic":"wrong","schema_version":"1.0"}` + "\n" + `{"state":{}}` + "\n"))
+	f.Add([]byte(`{"magic":"memscale-checkpoint","schema_version":"2.0"}` + "\n" + `{"state":{}}` + "\n"))
+	f.Add([]byte(`{"magic":"memscale-checkpoint","schema_version":"1.0"}` + "\n" + `{not json`))
+	f.Add([]byte(`{"magic":"memscale-checkpoint","schema_version":"1.0"}` + "\n" + `{"meta":{}}` + "\n"))
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add(valid.Bytes()[:len(valid.Bytes())-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			var sve *SchemaVersionError
+			if !errors.Is(err, ErrCorruptCheckpoint) && !errors.As(err, &sve) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if ck == nil || ck.State == nil {
+			t.Fatal("accepted container without state")
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, ck); err != nil {
+			t.Fatalf("accepted container failed to re-encode: %v", err)
+		}
+		if _, err := Decode(&buf); err != nil {
+			t.Fatalf("re-encoded container rejected: %v", err)
+		}
+	})
+}

@@ -101,9 +101,9 @@ func (c *Core) beginSegment(now config.Time) {
 		// keep the exact same-instant position the eager formulation's
 		// completion fire gave it, so its scheduling is deferred to the
 		// delivery instant.
-		c.q.ScheduleVia(now, now+dur, c.onIssue, nil, credit, 0)
+		c.q.ScheduleVia(now, now+dur, c.onIssue, c, credit, 0)
 	} else {
-		c.q.ScheduleBound(now+dur, c.onIssue, nil, credit, 0)
+		c.q.ScheduleBound(now+dur, c.onIssue, c, credit, 0)
 	}
 }
 

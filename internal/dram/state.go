@@ -1,0 +1,88 @@
+package dram
+
+import (
+	"fmt"
+
+	"memscale/internal/config"
+)
+
+// BankCheckpoint is the pure-data image of one bank.
+type BankCheckpoint struct {
+	OpenRow   int         `json:"open_row"`
+	FreeAt    config.Time `json:"free_at"`
+	ActAt     config.Time `json:"act_at"`
+	InService bool        `json:"in_service,omitempty"`
+}
+
+// RankState is the pure-data checkpoint image of a Rank: every mutable
+// field except the shared timing pointer, which the owning controller
+// re-points on restore (it is part of the controller's operating-point
+// state, not the rank's).
+type RankState struct {
+	Banks       []BankCheckpoint `json:"banks"`
+	ActiveBanks int              `json:"active_banks"`
+	InService   int              `json:"in_service"`
+
+	LastAct config.Time    `json:"last_act"`
+	FAW     [4]config.Time `json:"faw"`
+	FAWIdx  int            `json:"faw_idx"`
+
+	PD             PDState     `json:"pd"`
+	Refreshing     bool        `json:"refreshing,omitempty"`
+	RefreshPending bool        `json:"refresh_pending,omitempty"`
+	RefreshUntil   config.Time `json:"refresh_until"`
+
+	Acct   Account     `json:"acct"`
+	AcctAt config.Time `json:"acct_at"`
+}
+
+// Save captures the rank's full mutable state.
+func (r *Rank) Save() RankState {
+	st := RankState{
+		Banks:          make([]BankCheckpoint, len(r.banks)),
+		ActiveBanks:    r.activeBanks,
+		InService:      r.inService,
+		LastAct:        r.lastAct,
+		FAW:            r.faw,
+		FAWIdx:         r.fawIdx,
+		PD:             r.pd,
+		Refreshing:     r.refreshing,
+		RefreshPending: r.refreshPending,
+		RefreshUntil:   r.refreshUntil,
+		Acct:           r.acct,
+		AcctAt:         r.acctAt,
+	}
+	for i, b := range r.banks {
+		st.Banks[i] = BankCheckpoint{OpenRow: b.openRow, FreeAt: b.freeAt, ActAt: b.actAt, InService: b.inService}
+	}
+	return st
+}
+
+// Load replaces the rank's mutable state with st. The bank count must
+// match the rank's construction; the timing pointer is untouched.
+func (r *Rank) Load(st RankState) error {
+	if len(st.Banks) != len(r.banks) {
+		return fmt.Errorf("dram: rank state has %d banks, rank has %d", len(st.Banks), len(r.banks))
+	}
+	if st.FAWIdx < 0 || st.FAWIdx >= len(r.faw) {
+		return fmt.Errorf("dram: rank state faw index %d out of range", st.FAWIdx)
+	}
+	if st.PD < PDNone || st.PD > PDSlow {
+		return fmt.Errorf("dram: rank state powerdown state %d unknown", st.PD)
+	}
+	for i, b := range st.Banks {
+		r.banks[i] = bankState{openRow: b.OpenRow, freeAt: b.FreeAt, actAt: b.ActAt, inService: b.InService}
+	}
+	r.activeBanks = st.ActiveBanks
+	r.inService = st.InService
+	r.lastAct = st.LastAct
+	r.faw = st.FAW
+	r.fawIdx = st.FAWIdx
+	r.pd = st.PD
+	r.refreshing = st.Refreshing
+	r.refreshPending = st.RefreshPending
+	r.refreshUntil = st.RefreshUntil
+	r.acct = st.Acct
+	r.acctAt = st.AcctAt
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"memscale/internal/config"
 	"memscale/internal/faults"
@@ -108,8 +109,56 @@ type GroupSummary struct {
 	Rollup *telemetry.Rollup `json:"rollup,omitempty"`
 }
 
+// SchemaVersion is the fleet-summary interchange format version
+// ("MAJOR.MINOR") stamped on every summary WriteFleetSummary encodes.
+// Minor bumps only add fields, which older readers ignore; a major
+// bump means the summary shape changed incompatibly. Readers accept
+// any summary whose major version matches their own (including
+// unversioned pre-1.1 summaries, which read as "1.0") and reject the
+// rest with a *SchemaVersionError.
+const SchemaVersion = "1.1"
+
+// SchemaVersionError reports a fleet summary written by an
+// incompatible (different-major) schema version; match with errors.As.
+type SchemaVersionError struct {
+	Version string // the summary's schema_version
+}
+
+// Error implements error.
+func (e *SchemaVersionError) Error() string {
+	return fmt.Sprintf("fleet summary schema version %q is incompatible with reader version %q",
+		e.Version, SchemaVersion)
+}
+
+// CheckSchemaVersion validates a summary's recorded version against
+// this reader. An empty version is a pre-1.1 summary and reads as
+// "1.0" — same major, accepted.
+func CheckSchemaVersion(version string) error {
+	if version == "" {
+		return nil
+	}
+	if major(version) != major(SchemaVersion) {
+		return &SchemaVersionError{Version: version}
+	}
+	return nil
+}
+
+// major returns the MAJOR component of a version string; the whole
+// string when there is no dot.
+func major(v string) string {
+	if i := strings.IndexByte(v, '.'); i >= 0 {
+		return v[:i]
+	}
+	return v
+}
+
 // Summary is the fleet-level outcome.
 type Summary struct {
+	// SchemaVersion records the interchange format version the summary
+	// was written with (stamped by WriteFleetSummary; empty on
+	// summaries built in memory and on pre-1.1 files).
+	SchemaVersion string `json:"schema_version,omitempty"`
+
 	Nodes  int `json:"nodes"`
 	Epochs int `json:"epochs"`
 

@@ -163,6 +163,9 @@ type Controller struct {
 	onGrantBus    event.Bound
 	onRefreshTick event.Bound
 	onRefreshDone event.Bound
+	onRelockDone  event.Bound
+	onRelockKick  event.Bound
+	onDone        event.Bound
 }
 
 // New builds a controller for cfg, scheduling on q. Every channel
@@ -183,6 +186,9 @@ func New(cfg *config.Config, q *event.Queue) *Controller {
 	c.onGrantBus = c.grantBusEvent
 	c.onRefreshTick = c.refreshTickEvent
 	c.onRefreshDone = c.refreshDoneEvent
+	c.onRelockDone = c.onRelockDoneEvent
+	c.onRelockKick = c.onRelockKickEvent
+	c.onDone = c.onDoneEvent
 
 	banksPerChannel := cfg.RanksPerChannel() * cfg.BanksPerRank
 	c.channels = make([]*channel, cfg.Channels)
@@ -589,8 +595,12 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 		c.q.ScheduleBound(prechargeDone, c.onPrecharge, nil, int32(chIdx), int32(b))
 	}
 
-	if req.Done != nil && !req.Write {
-		if busEnd <= c.quiesce {
+	if req.Done != nil && !req.Write && busEnd > c.quiesce {
+		// The completion event carries the Request itself so a
+		// checkpoint can name it; onDone recycles it after delivering.
+		c.q.ScheduleBound(busEnd, c.onDone, req, 0, 0)
+	} else {
+		if req.Done != nil && !req.Write {
 			// Closed-form completion: the transfer's end time is already
 			// known, and inside the quiesce horizon nobody can observe
 			// the core before busEnd, so deliver the data inline instead
@@ -600,15 +610,12 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 			// so every event scheduled between now and busEnd keeps its
 			// exact same-instant position.
 			req.Done(busEnd)
-		} else {
-			c.q.Schedule(busEnd, req.Done)
 		}
+		// The transaction is through: recycle its Request. Everything
+		// that still needs to run (completion callback, precharge, bus
+		// grant) was captured into events above.
+		c.putRequest(req)
 	}
-
-	// The transaction is through: recycle its Request. Everything that
-	// still needs to run (completion callback, precharge, bus grant)
-	// was captured into events above.
-	c.putRequest(req)
 
 	c.refreshKick(now, chIdx, rankIdx)
 
@@ -946,20 +953,7 @@ func (c *Controller) setChannelFrequency(now config.Time, chIdx int, f config.Fr
 	if c.tel != nil {
 		c.tel.FreqTransition(now, chIdx, ch.timing.BusFreq, f, halt)
 	}
-	c.q.Schedule(ch.relockUntil, func(config.Time) {
-		ch.timing = dram.Resolve(c.cfg.Timing, f, c.devFreqFor(f))
-		ch.relocking = false
-		c.updateMCClock()
-		// Kick via a same-instant event so that when several channels
-		// finish relocking at the same timestamp (the uniform switch),
-		// the MC clock settles before any request re-dispatches.
-		c.q.After(0, func(at config.Time) {
-			for rankIdx := range c.ranks[chIdx] {
-				c.kickRank(at, chIdx, rankIdx)
-			}
-			c.tryGrantBus(at, chIdx)
-		})
-	})
+	c.q.ScheduleBound(ch.relockUntil, c.onRelockDone, nil, int32(chIdx), int32(f))
 	return ch.relockUntil
 }
 
@@ -976,20 +970,49 @@ func (c *Controller) StallChannels(now config.Time, stall config.Time) {
 		if ch.relocking {
 			panic(fmt.Sprintf("memctrl: channel %d stall while already relocking", chIdx))
 		}
-		chIdx := chIdx
-		ch := ch
 		ch.relocking = true
 		ch.relockUntil = now + stall
-		c.q.Schedule(ch.relockUntil, func(config.Time) {
-			ch.relocking = false
-			c.q.After(0, func(at config.Time) {
-				for rankIdx := range c.ranks[chIdx] {
-					c.kickRank(at, chIdx, rankIdx)
-				}
-				c.tryGrantBus(at, chIdx)
-			})
-		})
+		// b == 0 marks a pure stall: the operating point is unchanged,
+		// so onRelockDone skips the timing/MC-clock update.
+		c.q.ScheduleBound(ch.relockUntil, c.onRelockDone, nil, int32(chIdx), 0)
 	}
+}
+
+// onRelockDoneEvent completes a channel's relock window. b carries the
+// new bus frequency, or 0 for the fault plane's abandoned-relock stall
+// (the old operating point stays). Dispatch resumes via a same-instant
+// kick event so that when several channels finish relocking at the
+// same timestamp (the uniform switch), the MC clock settles before any
+// request re-dispatches.
+func (c *Controller) onRelockDoneEvent(now config.Time, _ any, a, b int32) {
+	ch := c.channels[a]
+	if b != 0 {
+		f := config.FreqMHz(b)
+		ch.timing = dram.Resolve(c.cfg.Timing, f, c.devFreqFor(f))
+		ch.relocking = false
+		c.updateMCClock()
+	} else {
+		ch.relocking = false
+	}
+	c.q.AfterBound(0, c.onRelockKick, nil, a, 0)
+}
+
+// onRelockKickEvent re-kicks every rank and the bus of a channel whose
+// relock window just closed.
+func (c *Controller) onRelockKickEvent(now config.Time, _ any, a, _ int32) {
+	for rankIdx := range c.ranks[a] {
+		c.kickRank(now, int(a), rankIdx)
+	}
+	c.tryGrantBus(now, int(a))
+}
+
+// onDoneEvent delivers a read completion to its core and recycles the
+// Request that carried it.
+func (c *Controller) onDoneEvent(now config.Time, env any, _, _ int32) {
+	req := env.(*Request)
+	done := req.Done
+	c.putRequest(req)
+	done(now)
 }
 
 // ForceRefresh models a retention emergency: every rank immediately

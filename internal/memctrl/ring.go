@@ -35,6 +35,15 @@ func (r *reqRing) Pop() *Request {
 	return req
 }
 
+// At returns the i-th queued request in FIFO order without removing
+// it (0 is the head).
+func (r *reqRing) At(i int) *Request {
+	if i < 0 || i >= r.count {
+		panic("memctrl: ring index out of range")
+	}
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
 // Peek returns the head request without removing it.
 func (r *reqRing) Peek() *Request {
 	if r.count == 0 {

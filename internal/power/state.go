@@ -1,0 +1,34 @@
+package power
+
+import (
+	"memscale/internal/config"
+	"memscale/internal/dram"
+)
+
+// MeterState is the pure-data checkpoint image of a Meter: the energy
+// and residency accumulators. The model and telemetry attachment are
+// construction parameters.
+type MeterState struct {
+	Total     Breakdown    `json:"total"`
+	Duration  config.Time  `json:"duration"`
+	Residency dram.Account `json:"residency"`
+	Intervals int          `json:"intervals"`
+}
+
+// Save captures the meter's accumulators.
+func (mt *Meter) Save() MeterState {
+	return MeterState{
+		Total:     mt.total,
+		Duration:  mt.duration,
+		Residency: mt.residency,
+		Intervals: mt.intervals,
+	}
+}
+
+// Load replaces the meter's accumulators with st.
+func (mt *Meter) Load(st MeterState) {
+	mt.total = st.Total
+	mt.duration = st.Duration
+	mt.residency = st.Residency
+	mt.intervals = st.Intervals
+}

@@ -1,0 +1,535 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"memscale/internal/checkpoint"
+	"memscale/internal/config"
+	"memscale/internal/faults"
+	"memscale/internal/policies"
+	"memscale/internal/sim"
+	"memscale/internal/telemetry"
+	"memscale/internal/workload"
+)
+
+// This file is the engine's checkpoint plane: warm-start forking for
+// sweeps that share a simulation prefix, and checkpoint/resume for
+// long-horizon runs that must survive interruption.
+
+// jobConfig derives the two configurations a job runs under: base is
+// the configuration the unmanaged baseline pairs against (machine
+// shape, gamma, and Mutate applied), cfg adds the policy's Configure
+// hook on top. Keeping both matters for checkpointing — a resume must
+// calibrate its baseline from base, not cfg, to reproduce the cold
+// run's pairing exactly.
+func jobConfig(job Job) (cfg, base config.Config) {
+	cfg = config.Default()
+	if job.Gamma > 0 {
+		cfg.Policy.Gamma = job.Gamma
+	}
+	if job.Cores > 0 {
+		cfg.Cores = job.Cores
+	}
+	if job.Channels > 0 {
+		cfg.Channels = job.Channels
+	}
+	if job.Mutate != nil {
+		job.Mutate(&cfg)
+	}
+	base = cfg
+	if job.Spec.Configure != nil {
+		job.Spec.Configure(&cfg)
+	}
+	return cfg, base
+}
+
+// WarmPrefix simulates prefixEpochs of an unmanaged (governor-free,
+// fault-free, uninstrumented) run of mix under cfg and returns the
+// snapshot at the epoch boundary. The snapshot may be forked into any
+// number of variant runs: sim.Restore copies every slice and map, so
+// parallel forks from one shared snapshot never race.
+func (e *Engine) WarmPrefix(ctx context.Context, cfg config.Config, mix workload.Mix, prefixEpochs int) (st *sim.SystemState, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+
+	if prefixEpochs <= 0 {
+		return nil, fmt.Errorf("runner: warm-start prefix epochs must be positive, got %d", prefixEpochs)
+	}
+	streams, err := mix.Streams(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(cfg, streams, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < prefixEpochs; i++ {
+		if _, err := s.StepEpoch(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return s.Save()
+}
+
+// warmKey groups jobs that can legitimately share one warm-up prefix:
+// same mix, same prefix length, same post-Configure configuration with
+// gamma zeroed out (gamma steers only the governor, which the
+// unmanaged prefix does not run, so gamma-only variants share a
+// prefix — the common sweep shape).
+func warmKey(job Job, prefixEpochs int) string {
+	cfg, _ := jobConfig(job)
+	cfg.Policy.Gamma = 0
+	return fmt.Sprintf("%s|%d|%+v", job.Mix.Name, prefixEpochs, cfg)
+}
+
+// RunEachWarm is RunEach with warm-start forking: jobs sharing a warm
+// key simulate their first prefixEpochs once, then every job forks
+// from the shared snapshot and runs its remaining epochs under its own
+// governor. Results are indexed like jobs, exactly as RunEach.
+//
+// Warm-started outcomes are an approximation in the gem5
+// fast-forwarding tradition: the managed run's governor only steers
+// the post-prefix epochs, so the result is not bit-identical to a cold
+// managed run of the same job (use RunWithCheckpoint/Resume when exact
+// equivalence is required). The baseline pairing is unaffected — it is
+// still the memoized cold unmanaged run of the full length.
+func (e *Engine) RunEachWarm(ctx context.Context, jobs []Job, prefixEpochs int) ([]Outcome, []error) {
+	if prefixEpochs <= 0 {
+		return e.RunEach(ctx, jobs)
+	}
+
+	// Group jobs by warm key, keeping the first-seen order deterministic.
+	type group struct {
+		job  Job // representative: supplies cfg and mix for the prefix
+		jobs []int
+	}
+	groups := map[string]*group{}
+	var order []string
+	preErr := make([]error, len(jobs))
+	for i, job := range jobs {
+		if job.Epochs <= prefixEpochs {
+			preErr[i] = fmt.Errorf("runner: job epochs (%d) must exceed warm-start prefix epochs (%d)", job.Epochs, prefixEpochs)
+			continue
+		}
+		if job.Warm != nil {
+			preErr[i] = errors.New("runner: warm-start job already carries a snapshot")
+			continue
+		}
+		key := warmKey(job, prefixEpochs)
+		g := groups[key]
+		if g == nil {
+			g = &group{job: job}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.jobs = append(g.jobs, i)
+	}
+
+	// Phase 1: one unmanaged prefix per group, in parallel.
+	snaps := make([]*sim.SystemState, len(order))
+	snapErrs := ForEach(ctx, e.workers, len(order), func(ctx context.Context, gi int) error {
+		g := groups[order[gi]]
+		cfg, _ := jobConfig(g.job)
+		snap, err := e.WarmPrefix(ctx, cfg, g.job.Mix, prefixEpochs)
+		snaps[gi] = snap
+		return err
+	}, nil)
+
+	warmed := make([]Job, len(jobs))
+	copy(warmed, jobs)
+	for gi, key := range order {
+		g := groups[key]
+		for _, i := range g.jobs {
+			if snapErrs[gi] != nil {
+				preErr[i] = fmt.Errorf("runner: warm-start prefix: %w", snapErrs[gi])
+				continue
+			}
+			warmed[i].Warm = snaps[gi]
+		}
+	}
+
+	// Phase 2: every job forks from its snapshot (or reports its
+	// validation/prefix error) on the same worker pool.
+	outs := make([]Outcome, len(jobs))
+	var onDone func(done, i int, err error)
+	if e.onResult != nil {
+		onDone = func(done, i int, err error) {
+			e.onResult(Progress{
+				Done: done, Total: len(jobs), Index: i,
+				Job: jobs[i], Outcome: outs[i], Err: err,
+			})
+		}
+	}
+	errs := ForEach(ctx, e.workers, len(jobs), func(ctx context.Context, i int) error {
+		if preErr[i] != nil {
+			return preErr[i]
+		}
+		var err error
+		outs[i], err = e.Run(ctx, warmed[i])
+		return err
+	}, onDone)
+	return outs, errs
+}
+
+// RunWithCheckpoint is Run with a mid-flight snapshot: the managed run
+// executes epoch by epoch, captures its full state after ckEpoch
+// epochs, and continues to job.Epochs. The returned checkpoint carries
+// everything Resume needs — meta identifying the run, both
+// configurations, and the state image — and the outcome is
+// bit-identical to a plain Run of the same job (StepEpoch-driven runs
+// reproduce RunFor's event sequence exactly).
+func (e *Engine) RunWithCheckpoint(ctx context.Context, job Job, ckEpoch int) (out Outcome, ck *checkpoint.Checkpoint, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, ck, err = Outcome{}, nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, nil, err
+	}
+	if job.Epochs <= 0 {
+		return Outcome{}, nil, fmt.Errorf("runner: job epochs must be positive, got %d", job.Epochs)
+	}
+	if ckEpoch <= 0 || ckEpoch > job.Epochs {
+		return Outcome{}, nil, fmt.Errorf("runner: checkpoint epoch %d outside run length [1,%d]", ckEpoch, job.Epochs)
+	}
+	if job.Warm != nil {
+		return Outcome{}, nil, errors.New("runner: checkpointing a warm-started job is not supported")
+	}
+	retries := 0
+	if job.Faults != nil {
+		if err := job.Faults.Validate(); err != nil {
+			return Outcome{}, nil, fmt.Errorf("runner: %w", err)
+		}
+		retries = job.Faults.WithDefaults().MaxRunRetries
+	}
+
+	cfg, baseCfg := jobConfig(job)
+	base, nonMem, err := e.cache.Baseline(ctx, baseCfg, job.Mix, job.Epochs)
+	if err != nil {
+		return Outcome{}, nil, err
+	}
+
+	var aborts uint64
+	for attempt := 0; ; attempt++ {
+		out, snap, err := e.runCheckpointAttempt(ctx, job, cfg, nonMem, attempt, ckEpoch)
+		if err == nil {
+			out.Mix, out.Policy = job.Mix, job.Spec.Name
+			out.NonMem, out.Base = nonMem, base
+			out.Attempts = attempt + 1
+			out.Res.Faults.TransientAborts += aborts
+			ck := &checkpoint.Checkpoint{
+				Meta: checkpoint.Meta{
+					Mix:     job.Mix.Name,
+					Policy:  job.Spec.Name,
+					Gamma:   cfg.Policy.Gamma,
+					NonMem:  nonMem,
+					Epochs:  ckEpoch,
+					Faults:  job.Faults,
+					Attempt: attempt,
+				},
+				Config: cfg,
+				Base:   baseCfg,
+				State:  snap,
+			}
+			return out, ck, nil
+		}
+		if !errors.Is(err, faults.ErrTransient) || attempt >= retries || ctx.Err() != nil {
+			return Outcome{}, nil, err
+		}
+		aborts++
+	}
+}
+
+// runCheckpointAttempt is runAttempt driven through StepEpoch so the
+// state can be captured at the ckEpoch boundary mid-run.
+func (e *Engine) runCheckpointAttempt(ctx context.Context, job Job, cfg config.Config, nonMem float64, attempt, ckEpoch int) (Outcome, *sim.SystemState, error) {
+	timeout := job.Timeout
+	if timeout <= 0 {
+		timeout = e.jobTimeout
+	}
+	parent := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	var inj *faults.Injector
+	if job.Faults != nil {
+		var err error
+		if inj, err = faults.New(*job.Faults, attempt); err != nil {
+			return Outcome{}, nil, fmt.Errorf("runner: %w", err)
+		}
+	}
+	streams, err := job.Mix.Streams(&cfg)
+	if err != nil {
+		return Outcome{}, nil, err
+	}
+	var gov sim.Governor
+	if job.Spec.Governor != nil {
+		gov = job.Spec.Governor(&cfg, nonMem)
+	}
+	var rec *telemetry.Recorder
+	if job.Telemetry != nil {
+		rec = telemetry.NewRecorder(*job.Telemetry)
+		rec.NonMemPowerW.Set(nonMem)
+		rec.GammaBound.Set(cfg.Policy.Gamma)
+	}
+	s, err := sim.New(cfg, streams, sim.Options{
+		Governor:     gov,
+		NonMemPower:  nonMem,
+		KeepTimeline: job.Timeline,
+		Telemetry:    rec,
+		Faults:       inj,
+	})
+	if err != nil {
+		return Outcome{}, nil, err
+	}
+
+	target := config.Time(job.Epochs) * cfg.Policy.EpochLength
+	// Mirror the sim's MaxDuration safety net (Options.MaxDuration
+	// defaults to 2 s in sim.New) so the epoch loop stops exactly where
+	// RunForContext would.
+	maxDur := 2 * config.Second
+	var snap *sim.SystemState
+	for {
+		rec, err := s.StepEpoch(ctx)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+				return Outcome{}, nil, fmt.Errorf("runner: job exceeded %v watchdog: %w", timeout, ErrJobTimeout)
+			}
+			return Outcome{}, nil, err
+		}
+		if rec.Index+1 == ckEpoch {
+			if snap, err = s.Save(); err != nil {
+				return Outcome{}, nil, fmt.Errorf("runner: checkpoint save: %w", err)
+			}
+		}
+		if rec.End >= target || rec.End >= maxDur {
+			break
+		}
+	}
+	res := s.Finalize()
+	if snap == nil {
+		return Outcome{}, nil, fmt.Errorf("runner: run ended before checkpoint epoch %d", ckEpoch)
+	}
+
+	out := Outcome{Res: res}
+	if rec != nil {
+		apps := make([]string, cfg.Cores)
+		for i := range apps {
+			apps[i] = job.Mix.Assignment(i)
+		}
+		freqSeconds := make(map[int]float64, len(res.FreqTime))
+		for f, t := range res.FreqTime {
+			freqSeconds[int(f)] = t.Seconds()
+		}
+		out.Telemetry = rec.Export(telemetry.RunMeta{
+			Mix:          job.Mix.Name,
+			Policy:       job.Spec.Name,
+			Gamma:        cfg.Policy.Gamma,
+			Cores:        cfg.Cores,
+			Channels:     cfg.Channels,
+			CoreApps:     apps,
+			NonMemPowerW: nonMem,
+		}, freqSeconds)
+		if err := rec.SinkErr(); err != nil {
+			return Outcome{}, nil, fmt.Errorf("runner: telemetry sink: %w", err)
+		}
+	}
+	return out, snap, nil
+}
+
+// ResumeJob describes how to continue a checkpointed run.
+type ResumeJob struct {
+	// Checkpoint is the decoded container to resume from.
+	Checkpoint *checkpoint.Checkpoint
+
+	// Epochs is the total run length in OS quanta (including the
+	// epochs already completed at the snapshot); it must exceed the
+	// checkpoint's completed epoch count.
+	Epochs int
+
+	// Timeline, Telemetry, and Timeout mirror the Job fields: they
+	// instrument the resumed portion and bound its host wall-clock
+	// time.
+	Timeline  bool
+	Telemetry *telemetry.Options
+	Timeout   time.Duration
+}
+
+// Resume continues a checkpointed run to rj.Epochs total epochs and
+// pairs it against the cold unmanaged baseline of the full length,
+// exactly as the original run would have been. A resumed run's result
+// is bit-identical to the uninterrupted run of the same job (same
+// governor, same configuration, same fault schedule) — the crash
+// recovery counterpart to the fault plane's panic isolation.
+//
+// One caveat mirrors cold-run retry semantics: a transient fault
+// aborting the resumed portion retries from the checkpoint (not from
+// epoch zero) under the next attempt's schedule, so a resume that
+// aborts is not bit-identical to a cold run that aborts.
+func (e *Engine) Resume(ctx context.Context, rj ResumeJob) (out Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = Outcome{}, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	ck := rj.Checkpoint
+	if ck == nil || ck.State == nil {
+		return Outcome{}, errors.New("runner: resume requires a checkpoint with state")
+	}
+	if rj.Epochs <= ck.Meta.Epochs {
+		return Outcome{}, fmt.Errorf("runner: resume epochs (%d) must exceed the checkpoint's completed %d", rj.Epochs, ck.Meta.Epochs)
+	}
+	mix, err := workload.ByName(ck.Meta.Mix)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("runner: resume: %w", err)
+	}
+	var spec policies.Spec
+	if ck.Meta.Policy != "" {
+		if spec, err = policies.ByName(ck.Meta.Policy); err != nil {
+			return Outcome{}, fmt.Errorf("runner: resume: %w", err)
+		}
+	}
+	retries := 0
+	if ck.Meta.Faults != nil {
+		if err := ck.Meta.Faults.Validate(); err != nil {
+			return Outcome{}, fmt.Errorf("runner: %w", err)
+		}
+		retries = ck.Meta.Faults.WithDefaults().MaxRunRetries
+	}
+
+	base, nonMem, err := e.cache.Baseline(ctx, ck.Base, mix, rj.Epochs)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	var aborts uint64
+	first := ck.Meta.Attempt
+	for attempt := first; ; attempt++ {
+		out, err := e.resumeAttempt(ctx, rj, spec, mix, attempt)
+		if err == nil {
+			out.Mix, out.Policy = mix, ck.Meta.Policy
+			out.NonMem, out.Base = nonMem, base
+			out.Attempts = attempt - first + 1
+			out.Res.Faults.TransientAborts += aborts
+			return out, nil
+		}
+		if !errors.Is(err, faults.ErrTransient) || attempt-first >= retries || ctx.Err() != nil {
+			return Outcome{}, err
+		}
+		aborts++
+	}
+}
+
+// resumeAttempt restores one attempt from the checkpoint and runs it
+// to rj.Epochs total. The governor is rebuilt through the spec's
+// constructor with the checkpoint's calibrated non-memory power —
+// matching how the original run built it — and then loaded with the
+// saved governor state by sim.Restore.
+func (e *Engine) resumeAttempt(ctx context.Context, rj ResumeJob, spec policies.Spec, mix workload.Mix, attempt int) (Outcome, error) {
+	ck := rj.Checkpoint
+	timeout := rj.Timeout
+	if timeout <= 0 {
+		timeout = e.jobTimeout
+	}
+	parent := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	var inj *faults.Injector
+	if ck.Meta.Faults != nil {
+		var err error
+		if inj, err = faults.New(*ck.Meta.Faults, attempt); err != nil {
+			return Outcome{}, fmt.Errorf("runner: %w", err)
+		}
+	}
+	// ck.Config is already post-Configure; the spec's Configure hook
+	// must not run again.
+	cfg := ck.Config
+	streams, err := mix.Streams(&cfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	var gov sim.Governor
+	if spec.Governor != nil {
+		gov = spec.Governor(&cfg, ck.Meta.NonMem)
+	}
+	var rec *telemetry.Recorder
+	if rj.Telemetry != nil {
+		rec = telemetry.NewRecorder(*rj.Telemetry)
+		rec.NonMemPowerW.Set(ck.Meta.NonMem)
+		rec.GammaBound.Set(cfg.Policy.Gamma)
+	}
+	s, err := sim.Restore(cfg, streams, sim.Options{
+		Governor:     gov,
+		NonMemPower:  ck.Meta.NonMem,
+		KeepTimeline: rj.Timeline,
+		Telemetry:    rec,
+		Faults:       inj,
+	}, ck.State)
+	if err != nil {
+		return Outcome{}, err
+	}
+	res, err := s.RunForContext(ctx, config.Time(rj.Epochs)*cfg.Policy.EpochLength)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+			return Outcome{}, fmt.Errorf("runner: job exceeded %v watchdog: %w", timeout, ErrJobTimeout)
+		}
+		return Outcome{}, err
+	}
+	out := Outcome{Res: res}
+	if rec != nil {
+		apps := make([]string, cfg.Cores)
+		for i := range apps {
+			apps[i] = mix.Assignment(i)
+		}
+		freqSeconds := make(map[int]float64, len(res.FreqTime))
+		for f, t := range res.FreqTime {
+			freqSeconds[int(f)] = t.Seconds()
+		}
+		out.Telemetry = rec.Export(telemetry.RunMeta{
+			Mix:          mix.Name,
+			Policy:       ck.Meta.Policy,
+			Gamma:        cfg.Policy.Gamma,
+			Cores:        cfg.Cores,
+			Channels:     cfg.Channels,
+			CoreApps:     apps,
+			NonMemPowerW: ck.Meta.NonMem,
+		}, freqSeconds)
+		if err := rec.SinkErr(); err != nil {
+			return Outcome{}, fmt.Errorf("runner: telemetry sink: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// WarmGroups reports how many distinct warm-up prefixes a job set
+// would simulate under RunEachWarm — the sweep-planning counterpart to
+// BaselineCache.Stats.
+func WarmGroups(jobs []Job, prefixEpochs int) int {
+	keys := map[string]struct{}{}
+	for _, job := range jobs {
+		if job.Epochs > prefixEpochs {
+			keys[warmKey(job, prefixEpochs)] = struct{}{}
+		}
+	}
+	return len(keys)
+}

@@ -98,6 +98,13 @@ type Job struct {
 	// that overruns fails with ErrJobTimeout without disturbing the
 	// rest of the batch.
 	Timeout time.Duration
+
+	// Warm, when non-nil, is an unmanaged warm-up snapshot the managed
+	// run forks from instead of simulating the shared prefix itself
+	// (see Engine.WarmPrefix and RunEachWarm). Epochs still counts the
+	// total run length including the prefix. The baseline pairing is
+	// unchanged: it is the cold unmanaged run of the full length.
+	Warm *sim.SystemState
 }
 
 // Outcome is one managed run paired with its baseline.
@@ -263,27 +270,10 @@ func (e *Engine) Run(ctx context.Context, job Job) (out Outcome, err error) {
 		retries = job.Faults.WithDefaults().MaxRunRetries
 	}
 
-	cfg := config.Default()
-	if job.Gamma > 0 {
-		cfg.Policy.Gamma = job.Gamma
-	}
-	if job.Cores > 0 {
-		cfg.Cores = job.Cores
-	}
-	if job.Channels > 0 {
-		cfg.Channels = job.Channels
-	}
-	if job.Mutate != nil {
-		job.Mutate(&cfg)
-	}
-
-	base, nonMem, err := e.cache.Baseline(ctx, cfg, job.Mix, job.Epochs)
+	cfg, baseCfg := jobConfig(job)
+	base, nonMem, err := e.cache.Baseline(ctx, baseCfg, job.Mix, job.Epochs)
 	if err != nil {
 		return Outcome{}, err
-	}
-
-	if job.Spec.Configure != nil {
-		job.Spec.Configure(&cfg)
 	}
 
 	var aborts uint64
@@ -341,13 +331,22 @@ func (e *Engine) runAttempt(ctx context.Context, job Job, cfg config.Config, non
 		rec.NonMemPowerW.Set(nonMem)
 		rec.GammaBound.Set(cfg.Policy.Gamma)
 	}
-	s, err := sim.New(cfg, streams, sim.Options{
+	opts := sim.Options{
 		Governor:     gov,
 		NonMemPower:  nonMem,
 		KeepTimeline: job.Timeline,
 		Telemetry:    rec,
 		Faults:       inj,
-	})
+	}
+	var s *sim.System
+	if job.Warm != nil {
+		// Fork from the shared warm-up snapshot instead of simulating
+		// the prefix: the restored system resumes at the prefix's epoch
+		// boundary with a fresh governor.
+		s, err = sim.Restore(cfg, streams, opts, job.Warm)
+	} else {
+		s, err = sim.New(cfg, streams, opts)
+	}
 	if err != nil {
 		return Outcome{}, err
 	}

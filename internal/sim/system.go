@@ -203,6 +203,11 @@ type System struct {
 	// step carries the epoch loop's cross-epoch state so the loop can
 	// run either to completion (run) or one epoch at a time (StepEpoch).
 	step stepState
+
+	// onForceRefresh is the pre-bound refresh-storm callback, so storm
+	// bursts schedule without capturing a closure and a checkpoint can
+	// name the pending bursts.
+	onForceRefresh event.Bound
 }
 
 // stepState is the loop-carried state of the epoch loop, hoisted out of
@@ -231,6 +236,7 @@ func New(cfg config.Config, streams []*trace.Stream, opts Options) (*System, err
 		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), cfg.Cores)
 	}
 	s := &System{Cfg: cfg, Q: &event.Queue{}, opts: opts}
+	s.onForceRefresh = s.forceRefreshEvent
 	s.MC = memctrl.New(&s.Cfg, s.Q)
 	s.Model = power.NewModel(&s.Cfg)
 	s.Meter = power.NewMeter(s.Model)
@@ -259,7 +265,17 @@ func (s *System) start() {
 	}
 	s.lastCounters = s.MC.Counters()
 	s.lastInstr = make([]float64, len(s.Cores))
+	s.bindGovernor()
 
+	if s.opts.Telemetry != nil && s.step.slacker != nil {
+		s.step.prevSlack = s.step.slacker.Slack()
+	}
+}
+
+// bindGovernor derives the epoch loop's governor hooks. Split out of
+// start so a checkpoint restore can bind the hooks without re-running
+// the boot sequence.
+func (s *System) bindGovernor() {
 	// Optional governor hooks the telemetry decision and slack traces
 	// probe for; governors that lack them simply produce sparser traces.
 	s.step.predictor, _ = s.opts.Governor.(interface {
@@ -273,10 +289,6 @@ func (s *System) start() {
 	// or relocks, and the per-channel extension is outside the fault
 	// model. Refresh storms hit the DRAM regardless of who governs.
 	s.step.controlFaults = s.opts.Governor != nil && !s.step.perChannel
-
-	if s.opts.Telemetry != nil && s.step.slacker != nil {
-		s.step.prevSlack = s.step.slacker.Slack()
-	}
 }
 
 // SetFrequencyCap sets the external bus-frequency ceiling applied to
@@ -402,7 +414,9 @@ func (s *System) stepUntil(ctx context.Context, deadline config.Time) error {
 }
 
 func (s *System) run(ctx context.Context, done func(config.Time) bool) (Result, error) {
-	s.start()
+	if !s.started {
+		s.start()
+	}
 	for {
 		rec, err := s.stepEpoch(ctx, false)
 		if err != nil {
@@ -544,9 +558,7 @@ func (s *System) stepEpoch(ctx context.Context, wantRec bool) (EpochRecord, erro
 			tel.Fault(decisionAt, uint8(faults.KindRefreshStorm), int64(plan.StormBursts), 0)
 			spacing := 2 * s.MC.Timing().TRFC
 			for b := 0; b < plan.StormBursts; b++ {
-				s.Q.Schedule(decisionAt+config.Time(b)*spacing, func(at config.Time) {
-					s.MC.ForceRefresh(at)
-				})
+				s.Q.ScheduleBound(decisionAt+config.Time(b)*spacing, s.onForceRefresh, nil, 0, 0)
 			}
 		}
 
@@ -680,6 +692,11 @@ func (s *System) stepEpoch(ctx context.Context, wantRec bool) (EpochRecord, erro
 		}
 		return rec, nil
 	}
+}
+
+// forceRefreshEvent is the bound form of one refresh-storm burst.
+func (s *System) forceRefreshEvent(now config.Time, _ any, _, _ int32) {
+	s.MC.ForceRefresh(now)
 }
 
 // mergeProfiles concatenates two adjacent windows into one: counter

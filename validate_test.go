@@ -3,6 +3,7 @@ package memscale
 import (
 	"context"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -87,6 +88,59 @@ func TestValidateMatchesRunContext(t *testing.T) {
 	}
 	if verr.Error() != rerr.Error() {
 		t.Errorf("Validate error %q != RunContext error %q", verr, rerr)
+	}
+}
+
+// TestWarmStartValidateFieldPaths extends the field-path contract to
+// the checkpoint/warm-start knobs: every rejection wraps
+// ErrInvalidConfig and names the offending field before any
+// simulation runs.
+func TestWarmStartValidateFieldPaths(t *testing.T) {
+	ctx := context.Background()
+	runs := []RunConfig{{Mix: "MID1", Policy: "MemScale", Epochs: 2}}
+	cases := []struct {
+		name string
+		call func() error
+		path string
+	}{
+		{"zero warm-start prefix", func() error {
+			_, err := Sweep(ctx, SweepConfig{Runs: runs, WarmStart: &WarmStartConfig{}})
+			return err
+		}, "warm_start.prefix_epochs"},
+		{"negative warm-start prefix", func() error {
+			_, err := Sweep(ctx, SweepConfig{Runs: runs, WarmStart: &WarmStartConfig{PrefixEpochs: -3}})
+			return err
+		}, "warm_start.prefix_epochs"},
+		{"prefix not smaller than epochs", func() error {
+			_, err := Sweep(ctx, SweepConfig{Runs: runs, WarmStart: &WarmStartConfig{PrefixEpochs: 2}})
+			return err
+		}, "warm_start.prefix_epochs"},
+		{"empty mix zero group key", func() error {
+			_, err := Sweep(ctx, SweepConfig{
+				Runs:      []RunConfig{{Policy: "MemScale", Epochs: 2}},
+				WarmStart: &WarmStartConfig{PrefixEpochs: 1},
+			})
+			return err
+		}, "zero warm-up group key"},
+		{"checkpoint epoch beyond run", func() error {
+			_, err := CheckpointRun(ctx, runs[0], 99, io.Discard)
+			return err
+		}, "checkpoint.at_epoch"},
+		{"negative checkpoint epoch", func() error {
+			_, err := CheckpointRun(ctx, runs[0], -1, io.Discard)
+			return err
+		}, "checkpoint.at_epoch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("err = %v, want ErrInvalidConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.path) {
+				t.Errorf("error %q does not name %q", err, tc.path)
+			}
+		})
 	}
 }
 

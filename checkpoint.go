@@ -66,6 +66,45 @@ func CheckpointRun(ctx context.Context, rc RunConfig, atEpoch int, w io.Writer) 
 	return summarize(out), nil
 }
 
+// CheckpointRunInterruptible is CheckpointRun with a soft-stop signal:
+// when stop fires (a closed or signaled channel — wire it to
+// SIGINT/SIGTERM in a CLI), the run finishes its current epoch, writes
+// the state at that boundary to w as its final checkpoint, and returns
+// ErrInterrupted; resume the container with ResumeRun to finish the
+// run, bit-identical to the uninterrupted one. A run that completes
+// without interruption behaves exactly like CheckpointRun.
+func CheckpointRunInterruptible(ctx context.Context, rc RunConfig, atEpoch int, stop <-chan struct{}, w io.Writer) (RunSummary, error) {
+	if err := rc.Validate(); err != nil {
+		return RunSummary{}, err
+	}
+	rc = rc.withDefaults()
+	if atEpoch == 0 {
+		atEpoch = rc.Epochs
+	}
+	if atEpoch < 0 || atEpoch > rc.Epochs {
+		return RunSummary{}, fmt.Errorf("%w: checkpoint.at_epoch: must be in [1, %d] (0 selects the final epoch), got %d",
+			ErrInvalidConfig, rc.Epochs, atEpoch)
+	}
+	job, err := rc.job()
+	if err != nil {
+		return RunSummary{}, err
+	}
+	job.Interrupt = stop
+	out, ck, err := runner.New(runner.Options{Workers: 1}).RunWithCheckpoint(ctx, job, atEpoch)
+	if err != nil && !errors.Is(err, ErrInterrupted) {
+		return RunSummary{}, err
+	}
+	// The checkpoint is written in both outcomes: at atEpoch when the
+	// run completed, at the interrupt boundary when it stopped early.
+	if werr := checkpoint.Encode(w, ck); werr != nil {
+		return RunSummary{}, fmt.Errorf("write checkpoint: %w", werr)
+	}
+	if err != nil {
+		return RunSummary{}, err
+	}
+	return summarize(out), nil
+}
+
 // ResumeRun reads a checkpoint container from r and continues the run
 // to epochs total OS quanta (counting the epochs already completed at
 // the snapshot), pairing it against the cold baseline of the full

@@ -5,7 +5,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -157,11 +159,24 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	})
 	t.Run("mismatched state", func(t *testing.T) {
 		// Hand-edit the container's geometry: the state no longer fits
-		// the configuration it claims to pair with.
+		// the configuration it claims to pair with. The payload CRC is
+		// recomputed so the edit reaches state validation rather than
+		// tripping the integrity check.
 		tampered := bytes.Replace(buf.Bytes(), []byte(`"Cores":4`), []byte(`"Cores":8`), 1)
 		if bytes.Equal(tampered, buf.Bytes()) {
 			t.Fatal("tamper target not found in container")
 		}
+		nl := bytes.IndexByte(tampered, '\n')
+		if nl < 0 {
+			t.Fatal("container has no header line")
+		}
+		sum := crc32.ChecksumIEEE(bytes.TrimSpace(tampered[nl+1:]))
+		re := regexp.MustCompile(`"payload_crc32":\d+`)
+		header := re.ReplaceAll(tampered[:nl], []byte(fmt.Sprintf(`"payload_crc32":%d`, sum)))
+		if bytes.Equal(header, tampered[:nl]) {
+			t.Fatal("payload_crc32 field not found in header")
+		}
+		tampered = append(append(header, '\n'), tampered[nl+1:]...)
 		_, err := ResumeRun(ctx, bytes.NewReader(tampered), 4)
 		if !errors.Is(err, ErrInvalidConfig) {
 			t.Fatalf("err = %v, want ErrInvalidConfig for mismatched state", err)
@@ -217,4 +232,105 @@ func TestWarmStartSweep(t *testing.T) {
 			t.Fatalf("err = %v, want ErrInvalidConfig naming the zero group key", err)
 		}
 	})
+}
+
+// TestResumeRunCorruptReaders drives ResumeRun through every malformed
+// container shape a crash can leave on disk — truncated mid-payload,
+// header-only, bit-flipped payload bytes — asserting the typed failure
+// contract: ErrCorruptCheckpoint or a *CheckpointSchemaVersionError,
+// never a panic, never a silent success.
+func TestResumeRunCorruptReaders(t *testing.T) {
+	ctx := context.Background()
+	rc := RunConfig{Mix: "MID1", Policy: "MemScale", Epochs: 2, Cores: 4, Channels: 2}
+	var buf bytes.Buffer
+	if _, err := CheckpointRun(ctx, rc, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	headerEnd := bytes.IndexByte(data, '\n')
+	if headerEnd < 0 {
+		t.Fatal("container has no header line")
+	}
+
+	t.Run("truncated payload", func(t *testing.T) {
+		for _, cut := range []int{headerEnd + 1, headerEnd + 10, len(data) / 2} {
+			_, err := ResumeRun(ctx, bytes.NewReader(data[:cut]), 4)
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Errorf("cut at %d: err = %v, want ErrCorruptCheckpoint", cut, err)
+			}
+		}
+	})
+	t.Run("header only", func(t *testing.T) {
+		_, err := ResumeRun(ctx, bytes.NewReader(data[:headerEnd]), 4)
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+		}
+	})
+	t.Run("bit flip in payload", func(t *testing.T) {
+		// Flip one bit mid-payload: either the JSON still parses and the
+		// CRC catches the flip, or the JSON breaks — both must surface
+		// ErrCorruptCheckpoint.
+		flipped := append([]byte(nil), data...)
+		flipped[headerEnd+(len(data)-headerEnd)/2] ^= 0x01
+		_, err := ResumeRun(ctx, bytes.NewReader(flipped), 4)
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+		}
+	})
+	t.Run("foreign major version", func(t *testing.T) {
+		bumped := bytes.Replace(data, []byte(`"schema_version":"1.`), []byte(`"schema_version":"9.`), 1)
+		if bytes.Equal(bumped, data) {
+			t.Fatal("schema_version not found in header")
+		}
+		_, err := ResumeRun(ctx, bytes.NewReader(bumped), 4)
+		var sv *CheckpointSchemaVersionError
+		if !errors.As(err, &sv) {
+			t.Fatalf("err = %v, want *CheckpointSchemaVersionError", err)
+		}
+	})
+	t.Run("empty reader", func(t *testing.T) {
+		_, err := ResumeRun(ctx, strings.NewReader(""), 4)
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+		}
+	})
+}
+
+// TestCheckpointRunInterruptible: a pre-fired stop channel halts the
+// run at its first epoch boundary with ErrInterrupted, the container
+// written at the stop boundary resumes, and the resumed total is
+// bit-identical to the cold uninterrupted run — the single-run face of
+// the fleet's transparent-recovery contract.
+func TestCheckpointRunInterruptible(t *testing.T) {
+	ctx := context.Background()
+	rc := RunConfig{Mix: "MID1", Policy: "MemScale", Epochs: 3, Cores: 4, Channels: 2}
+
+	stop := make(chan struct{})
+	close(stop)
+	var buf bytes.Buffer
+	_, err := CheckpointRunInterruptible(ctx, rc, 0, stop, &buf)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no checkpoint written on interrupt")
+	}
+
+	cold, err := RunContext(ctx, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeRun(ctx, bytes.NewReader(buf.Bytes()), rc.Epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "interrupt-resumed run", cold, resumed)
+
+	// A nil stop channel must behave exactly like CheckpointRun.
+	var full bytes.Buffer
+	sum, err := CheckpointRunInterruptible(ctx, rc, 0, nil, &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "uninterrupted run", cold, sum)
 }

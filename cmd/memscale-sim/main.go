@@ -31,12 +31,17 @@
 // exit (after the run, so steady-state retention is visible), and
 // blocking events. Profiling never alters the simulated results.
 //
-// Ctrl-C cancels the simulation promptly.
+// SIGINT/SIGTERM handling: with -checkpoint-out set, the first signal
+// is a soft stop — the run finishes its current epoch, writes its
+// state to the container file, and exits with code 3 (resume it with
+// -restore); a second signal cancels hard. Without -checkpoint-out,
+// the first signal cancels the simulation promptly.
 package main
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,9 +50,15 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 
 	"memscale"
 )
+
+// exitInterrupted is the exit code of a run stopped by SIGINT/SIGTERM
+// after writing its final checkpoint — distinct from 1 (failure) so
+// supervisors can tell "resume me" from "fix me".
+const exitInterrupted = 3
 
 func main() {
 	mix := flag.String("mix", "MID1", "workload mix ("+strings.Join(memscale.Mixes(), ", ")+")")
@@ -78,8 +89,29 @@ func main() {
 	abortRate := flag.Float64("fault-abort-rate", 0, "per-attempt probability of a retryable transient run abort")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// Signal wiring: with a checkpoint target, the first SIGINT/SIGTERM
+	// soft-stops the run (finish the epoch, write the container); only
+	// a second one cancels hard. Otherwise the first signal cancels.
+	var softStop chan struct{}
+	var ctx context.Context
+	if *checkpointOut != "" {
+		sigs := make(chan os.Signal, 2)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		softStop = make(chan struct{})
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			<-sigs
+			close(softStop)
+			<-sigs
+			cancel()
+		}()
+	} else {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
 
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, "memscale-sim:", err)
@@ -163,11 +195,17 @@ func main() {
 		}
 	case *checkpointOut != "":
 		var buf bytes.Buffer
-		sum, err = memscale.CheckpointRun(ctx, rc, *checkpointEpoch, &buf)
-		if err == nil {
-			if err = os.WriteFile(*checkpointOut, buf.Bytes(), 0o644); err == nil {
-				fmt.Printf("checkpoint written to %s\n", *checkpointOut)
+		sum, err = memscale.CheckpointRunInterruptible(ctx, rc, *checkpointEpoch, softStop, &buf)
+		interrupted := errors.Is(err, memscale.ErrInterrupted)
+		if err == nil || interrupted {
+			if werr := os.WriteFile(*checkpointOut, buf.Bytes(), 0o644); werr != nil {
+				fatal(werr)
 			}
+			fmt.Printf("checkpoint written to %s\n", *checkpointOut)
+		}
+		if interrupted {
+			fmt.Fprintf(os.Stderr, "memscale-sim: interrupted; resume with -restore %s\n", *checkpointOut)
+			os.Exit(exitInterrupted)
 		}
 	default:
 		sum, err = memscale.RunContext(ctx, rc)

@@ -135,6 +135,9 @@ func TestGoldenDeterminism(t *testing.T) {
 			if sum.Events == 0 {
 				t.Error("Events = 0; the fired-event count must be exported")
 			}
+			if sum.InvariantChecks == 0 {
+				t.Error("InvariantChecks = 0; the runtime invariant plane must be active on golden configs")
+			}
 		})
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strings"
@@ -33,12 +34,21 @@ const Magic = "memscale-checkpoint"
 // means the payload shapes changed incompatibly. Decode accepts any
 // container whose major version matches and rejects the rest with a
 // *SchemaVersionError.
-const SchemaVersion = "1.0"
+//
+// 1.1 added the header's payload_crc32 integrity field; 1.0 containers
+// (no CRC) remain readable.
+const SchemaVersion = "1.1"
 
 // ErrCorruptCheckpoint reports container bytes that do not parse as a
 // checkpoint: truncation, wrong magic, malformed JSON. Matched with
 // errors.Is.
 var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
+// ErrInterrupted reports a run stopped early by a soft-stop signal
+// (SIGINT/SIGTERM, an Interrupt channel) after capturing its state at
+// the epoch boundary it halted on. The shared sentinel under the
+// runner's and fleet's own interrupted errors; matched with errors.Is.
+var ErrInterrupted = errors.New("run interrupted")
 
 // SchemaVersionError reports a checkpoint written by an incompatible
 // (different-major) schema version; match it with errors.As.
@@ -61,10 +71,23 @@ func schemaMajor(v string) string {
 	return v
 }
 
-// header is the container's first line.
+// header is the container's first line. PayloadCRC32 is the IEEE
+// CRC-32 of the whitespace-trimmed payload line; it is omitted when
+// zero (and by 1.0 writers), and Decode only verifies it when present,
+// so legacy containers stay readable while any bit flip in the payload
+// of a current container is caught before the JSON layer can
+// misinterpret it.
 type header struct {
 	Magic         string `json:"magic"`
 	SchemaVersion string `json:"schema_version"`
+	PayloadCRC32  uint32 `json:"payload_crc32,omitempty"`
+}
+
+// payloadCRC is the integrity sum over the payload line, computed on
+// the whitespace-trimmed bytes so a trailing-newline difference between
+// write and read paths cannot fail verification.
+func payloadCRC(body []byte) uint32 {
+	return crc32.ChecksumIEEE(bytes.TrimSpace(body))
 }
 
 // Meta identifies the run a checkpoint was taken from: enough to
@@ -110,15 +133,20 @@ type Checkpoint struct {
 	State *sim.SystemState `json:"state"`
 }
 
-// Encode writes ck to w in the versioned two-line container format.
+// Encode writes ck to w in the versioned two-line container format,
+// stamping the payload's CRC-32 into the header.
 func Encode(w io.Writer, ck *Checkpoint) error {
-	hdr, err := json.Marshal(header{Magic: Magic, SchemaVersion: SchemaVersion})
-	if err != nil {
-		return err
-	}
 	body, err := json.Marshal(ck)
 	if err != nil {
 		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	hdr, err := json.Marshal(header{
+		Magic:         Magic,
+		SchemaVersion: SchemaVersion,
+		PayloadCRC32:  payloadCRC(body),
+	})
+	if err != nil {
+		return err
 	}
 	if _, err := w.Write(append(hdr, '\n')); err != nil {
 		return err
@@ -153,6 +181,12 @@ func Decode(r io.Reader) (*Checkpoint, error) {
 	}
 	if len(bytes.TrimSpace(body)) == 0 {
 		return nil, fmt.Errorf("%w: container has no payload", ErrCorruptCheckpoint)
+	}
+	if hdr.PayloadCRC32 != 0 {
+		if got := payloadCRC(body); got != hdr.PayloadCRC32 {
+			return nil, fmt.Errorf("%w: payload CRC32 %08x, header says %08x",
+				ErrCorruptCheckpoint, got, hdr.PayloadCRC32)
+		}
 	}
 	ck := &Checkpoint{}
 	if err := json.Unmarshal(body, ck); err != nil {

@@ -35,6 +35,16 @@ func FuzzCheckpointDecode(f *testing.F) {
 	f.Add([]byte(`{"magic":"memscale-checkpoint","schema_version":"1.0"}` + "\n" + `{"meta":{}}` + "\n"))
 	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
 	f.Add(valid.Bytes()[:len(valid.Bytes())-3])
+	// CRC plane: legacy 1.0 header without a CRC must still be
+	// accepted; a header with a wrong CRC must be rejected typed; a
+	// payload bit flip under a valid header must be caught.
+	f.Add([]byte(`{"magic":"memscale-checkpoint","schema_version":"1.0"}` + "\n" +
+		`{"state":{"events":{},"mc":{}}}` + "\n"))
+	f.Add([]byte(`{"magic":"memscale-checkpoint","schema_version":"1.1","payload_crc32":12345}` + "\n" +
+		`{"state":{"events":{},"mc":{}}}` + "\n"))
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[len(flipped)-5] ^= 0x40
+	f.Add(flipped)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ck, err := Decode(bytes.NewReader(data))

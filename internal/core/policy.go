@@ -82,6 +82,22 @@ func (p *Policy) Gamma() float64 { return p.gamma }
 // Slack returns the accumulated per-core slack.
 func (p *Policy) Slack() []config.Time { return append([]config.Time(nil), p.slack...) }
 
+// MinSlack returns the smallest per-core accumulated slack without
+// allocating — the runtime invariant plane polls it every epoch, so it
+// must stay off the heap.
+func (p *Policy) MinSlack() config.Time {
+	if len(p.slack) == 0 {
+		return 0
+	}
+	min := p.slack[0]
+	for _, s := range p.slack[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
 // ProfileComplete implements sim.Governor: fit the models to the
 // profiling window and pick the epoch frequency.
 func (p *Policy) ProfileComplete(prof sim.Profile) config.FreqMHz {

@@ -266,6 +266,8 @@ func TestWithDefaults(t *testing.T) {
 		ThermalCeiling:      DefaultThermalCeiling,
 		ThermalWindowEpochs: DefaultThermalWindowEpochs,
 		MaxRunRetries:       DefaultMaxRunRetries,
+		StragglerDelay:      DefaultStragglerDelay,
+		NodeLossEpochs:      DefaultNodeLossEpochs,
 	}
 	if got != want {
 		t.Fatalf("WithDefaults = %+v, want %+v", got, want)

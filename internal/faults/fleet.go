@@ -1,0 +1,167 @@
+package faults
+
+import (
+	"time"
+
+	"memscale/internal/trace"
+)
+
+// Fleet-scope fault classes. These disturb the *execution* of a node
+// within a fleet — crashes, stragglers, corrupted recovery checkpoints,
+// coordinator-visible losses — rather than the simulated hardware, so
+// they live on a separate injector with its own plan type instead of
+// widening Kind. The same seeded order-independent draw scheme applies:
+// every decision is a pure function of (seed, epoch, class, attempt).
+//
+// Attempt semantics differ from the hardware classes. Crash, straggler,
+// and checkpoint-corruption draws are salted with the node's restart
+// attempt so that a node recovered from a checkpoint does not re-hit
+// the exact fault that killed it when it replays the same epochs —
+// mirroring real fleets, where a restarted process rolls new dice.
+// Node-loss windows are attempt-INdependent: they model the
+// coordinator's view of the network, which does not care how many
+// times the node process restarted.
+
+// Draw salts for the fleet-scope decision streams. They continue the
+// hardware-class salts (saltStorm..saltTransient = 1..6) and are chosen
+// to stay clear of the saltRelock+7a sequence (4, 11, 18, 25, ...):
+// 7..10 are ≢ 4 (mod 7).
+const (
+	saltNodeCrash   uint64 = 7
+	saltStraggler   uint64 = 8
+	saltCkptCorrupt uint64 = 9
+	saltNodeLoss    uint64 = 10
+)
+
+// attemptSalt offsets a fleet-class salt by the restart attempt. The
+// multiplier 131 keeps attempt-salted streams disjoint from each other
+// (base salts differ by < 131) and from the relock sequence for any
+// realistic retry bound.
+func attemptSalt(salt uint64, attempt int) uint64 {
+	if attempt < 0 {
+		attempt = 0
+	}
+	return salt + uint64(attempt)*131
+}
+
+// DefaultNodeLossEpochs is the loss-window length when NodeLossEpochs
+// is zero.
+const DefaultNodeLossEpochs = 3
+
+// DefaultStragglerDelay is the host-time stall a straggling node
+// inserts when StragglerDelay is zero.
+const DefaultStragglerDelay = 20 * time.Millisecond
+
+// FleetPlan is the fleet-scope disturbance schedule of one (epoch,
+// attempt) pair for one node.
+type FleetPlan struct {
+	// Crash: the node dies mid-epoch before completing it; the
+	// supervisor must restart it from its last good checkpoint.
+	Crash bool
+
+	// Straggle: the node stalls in host time (simulated results are
+	// unaffected), long enough to trip a per-node watchdog if one is
+	// armed tighter than the stall.
+	Straggle bool
+
+	// CorruptCheckpoint: the periodic recovery checkpoint written at
+	// this epoch is corrupted on the way out, so a later restore from
+	// it fails with ErrCorruptCheckpoint and recovery must fall back to
+	// an older snapshot (or a from-scratch replay).
+	CorruptCheckpoint bool
+}
+
+// Any reports whether the plan disturbs anything.
+func (p FleetPlan) Any() bool { return p.Crash || p.Straggle || p.CorruptCheckpoint }
+
+// FleetEnabled reports whether any fleet-scope fault class can fire.
+func (c Config) FleetEnabled() bool {
+	return c.NodeCrashRate > 0 || c.StragglerRate > 0 ||
+		c.CheckpointCorruptRate > 0 || c.NodeLossRate > 0
+}
+
+// FleetInjector produces deterministic fleet-scope fault plans for one
+// node. A nil *FleetInjector is the disabled state: NodePlan returns
+// the zero FleetPlan and LostAt reports false. Like Injector it is
+// stateless beyond its configuration.
+type FleetInjector struct {
+	cfg Config
+}
+
+// NewFleet builds a fleet-scope injector. Callers give each node its
+// own derived seed so the per-node disturbance schedules decorrelate.
+// Returns nil (no error) when no fleet-scope class is enabled, so the
+// disabled path costs nothing.
+func NewFleet(c Config) (*FleetInjector, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if !c.FleetEnabled() {
+		return nil, nil
+	}
+	return &FleetInjector{cfg: c.WithDefaults()}, nil
+}
+
+// Config returns the injector's defaulted configuration. Safe on nil.
+func (in *FleetInjector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// draw mirrors Injector.draw: uniform [0,1) for (seed, salt, index),
+// independent of call order.
+func (in *FleetInjector) draw(salt, index uint64) float64 {
+	const mix1 = 0x9e3779b97f4a7c15
+	const mix2 = 0xd1b54a32d192ed03
+	state := in.cfg.Seed ^ (salt+1)*mix1 ^ (index+1)*mix2
+	return trace.NewRNG(state).Float64()
+}
+
+// NodePlan returns the fleet-scope disturbance schedule of one epoch
+// for the given restart attempt. Safe on nil.
+func (in *FleetInjector) NodePlan(epoch, attempt int) FleetPlan {
+	if in == nil || epoch < 0 {
+		return FleetPlan{}
+	}
+	c := in.cfg
+	e := uint64(epoch)
+	var p FleetPlan
+	if c.NodeCrashRate > 0 && in.draw(attemptSalt(saltNodeCrash, attempt), e) < c.NodeCrashRate {
+		p.Crash = true
+	}
+	if c.StragglerRate > 0 && in.draw(attemptSalt(saltStraggler, attempt), e) < c.StragglerRate {
+		p.Straggle = true
+	}
+	if c.CheckpointCorruptRate > 0 && in.draw(attemptSalt(saltCkptCorrupt, attempt), e) < c.CheckpointCorruptRate {
+		p.CorruptCheckpoint = true
+	}
+	return p
+}
+
+// LostAt reports whether a coordinator-visible loss window covers the
+// epoch. A window opening at epoch w covers [w, w+NodeLossEpochs);
+// like thermal windows, checking the last NodeLossEpochs draws keeps
+// the answer a pure function of (seed, epoch). Attempt-independent by
+// design. Safe on nil.
+func (in *FleetInjector) LostAt(epoch int) bool {
+	if in == nil || epoch < 0 || in.cfg.NodeLossRate <= 0 {
+		return false
+	}
+	for w := epoch; w > epoch-in.cfg.NodeLossEpochs && w >= 0; w-- {
+		if in.draw(saltNodeLoss, uint64(w)) < in.cfg.NodeLossRate {
+			return true
+		}
+	}
+	return false
+}
+
+// StragglerDelay returns the host-time stall a straggling node should
+// insert. Safe on nil (returns 0).
+func (in *FleetInjector) StragglerDelay() time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.cfg.StragglerDelay
+}

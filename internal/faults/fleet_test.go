@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFleetInjectorDisabled(t *testing.T) {
+	in, err := NewFleet(Config{Seed: 1, RefreshStormRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != nil {
+		t.Fatal("NewFleet should return nil when no fleet-scope class is enabled")
+	}
+	// Nil-safety: the disabled injector answers the zero plan.
+	if p := in.NodePlan(3, 0); p.Any() {
+		t.Fatalf("nil injector produced a plan: %+v", p)
+	}
+	if in.LostAt(5) {
+		t.Fatal("nil injector reported a loss window")
+	}
+	if d := in.StragglerDelay(); d != 0 {
+		t.Fatalf("nil injector straggler delay = %v, want 0", d)
+	}
+}
+
+func TestFleetInjectorDeterministicOrderIndependent(t *testing.T) {
+	cfg := Config{
+		Seed:                  42,
+		NodeCrashRate:         0.3,
+		StragglerRate:         0.2,
+		CheckpointCorruptRate: 0.25,
+		NodeLossRate:          0.1,
+	}
+	a, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query a forward and b backward: plans must match pairwise.
+	const n = 64
+	fwd := make([]FleetPlan, n)
+	lost := make([]bool, n)
+	for e := 0; e < n; e++ {
+		fwd[e] = a.NodePlan(e, 0)
+		lost[e] = a.LostAt(e)
+	}
+	for e := n - 1; e >= 0; e-- {
+		if got := b.NodePlan(e, 0); got != fwd[e] {
+			t.Fatalf("epoch %d: order-dependent plan: %+v vs %+v", e, got, fwd[e])
+		}
+		if got := b.LostAt(e); got != lost[e] {
+			t.Fatalf("epoch %d: order-dependent loss window", e)
+		}
+	}
+	// With these rates something must fire over 64 epochs.
+	any := false
+	for e := 0; e < n; e++ {
+		any = any || fwd[e].Any() || lost[e]
+	}
+	if !any {
+		t.Fatal("no fleet fault fired in 64 epochs at rate ~0.3")
+	}
+}
+
+func TestFleetInjectorAttemptSalting(t *testing.T) {
+	in, err := NewFleet(Config{Seed: 7, NodeCrashRate: 0.5, NodeLossRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash draws must differ across attempts: a recovered node rolls
+	// new dice. (Loss windows take no attempt argument — coordinator
+	// visibility is attempt-independent by construction.)
+	same := true
+	for e := 0; e < 64; e++ {
+		if in.NodePlan(e, 0).Crash != in.NodePlan(e, 1).Crash {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("crash schedule identical across attempts at rate 0.5 over 64 epochs")
+	}
+}
+
+func TestFleetLossWindowLength(t *testing.T) {
+	in, err := NewFleet(Config{Seed: 3, NodeLossRate: 0.05, NodeLossEpochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every loss run must be at least NodeLossEpochs long: a window
+	// opening at w covers [w, w+4).
+	run := 0
+	for e := 0; e < 500; e++ {
+		if in.LostAt(e) {
+			run++
+			continue
+		}
+		if run > 0 && run < 4 {
+			t.Fatalf("loss run of %d epochs ending at %d, want >= 4", run, e)
+		}
+		run = 0
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NodeCrashRate: -0.1},
+		{NodeCrashRate: 1.5},
+		{StragglerRate: 2},
+		{CheckpointCorruptRate: -1},
+		{NodeLossRate: 1.01},
+		{StragglerRate: 0.1, StragglerDelay: -time.Millisecond},
+		{NodeLossRate: 0.1, NodeLossEpochs: -2},
+	}
+	for i, c := range bad {
+		if _, err := NewFleet(c); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("case %d: want ErrInvalidConfig, got %v", i, err)
+		}
+	}
+	in, err := NewFleet(Config{Seed: 1, StragglerRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.StragglerDelay(); got != DefaultStragglerDelay {
+		t.Fatalf("default straggler delay = %v, want %v", got, DefaultStragglerDelay)
+	}
+	if got := in.Config().NodeLossEpochs; got != DefaultNodeLossEpochs {
+		t.Fatalf("default loss epochs = %d, want %d", got, DefaultNodeLossEpochs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"memscale/internal/config"
 	"memscale/internal/faults"
+	"memscale/internal/invariant"
 	"memscale/internal/policies"
 	"memscale/internal/runner"
 	"memscale/internal/telemetry"
@@ -34,8 +35,14 @@ type GroupSpec struct {
 	Arrival ArrivalSpec
 
 	// Faults, when non-nil, injects the disturbance plane into every
-	// node of the group, with per-node decorrelated schedules.
+	// node of the group, with per-node decorrelated schedules. The
+	// fleet-scope rates (node crashes, stragglers, checkpoint
+	// corruption, loss windows) drive the self-healing plane.
 	Faults *faults.Config
+
+	// Recovery overrides the fleet-level RecoverySpec for this group's
+	// nodes (nil inherits Config.Recovery).
+	Recovery *RecoverySpec
 }
 
 // Config drives one fleet run.
@@ -61,6 +68,24 @@ type Config struct {
 	// Workers bounds node-level parallelism (0 = GOMAXPROCS). Results
 	// are bit-identical on any worker count.
 	Workers int
+
+	// Recovery, when non-nil, arms the self-healing supervisor on every
+	// node: periodic snapshots, watchdog-bounded window attempts, and
+	// bounded checkpoint restarts. Nil disables recovery (an injected
+	// crash loses the node immediately).
+	Recovery *RecoverySpec
+
+	// Telemetry, when non-nil, receives the fleet-level event stream
+	// (node losses, recoveries) and counters. The recorder is used only
+	// from the serial coordinator, in node order, so the stream is
+	// deterministic.
+	Telemetry *telemetry.Recorder
+
+	// Interrupt, when non-nil, requests a graceful stop: the run halts
+	// at the next window boundary, reports the completed epochs, and
+	// returns ErrInterrupted (plus a checkpoint bundle through
+	// RunWithCheckpoint). Nil means run to completion.
+	Interrupt <-chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +118,18 @@ type NodeSummary struct {
 	FinalCapMHz   int     `json:"final_cap_mhz"`
 	Dead          bool    `json:"dead,omitempty"`
 	Err           string  `json:"error,omitempty"`
+
+	// Self-healing plane outcome: checkpoint restarts performed,
+	// crashes (injected plus watchdog timeouts) absorbed, epochs
+	// replayed during recovery, snapshots lost to write corruption,
+	// coordinator loss windows entered, and whether the node ended
+	// lost (restart budget exhausted — implies Dead).
+	Attempts           int  `json:"attempts,omitempty"`
+	Crashes            int  `json:"crashes,omitempty"`
+	RecoveryEpochs     int  `json:"recovery_epochs,omitempty"`
+	CorruptCheckpoints int  `json:"corrupt_checkpoints,omitempty"`
+	LossWindows        int  `json:"loss_windows,omitempty"`
+	Lost               bool `json:"lost,omitempty"`
 }
 
 // GroupSummary rolls one group up.
@@ -116,7 +153,10 @@ type GroupSummary struct {
 // any summary whose major version matches their own (including
 // unversioned pre-1.1 summaries, which read as "1.0") and reject the
 // rest with a *SchemaVersionError.
-const SchemaVersion = "1.1"
+//
+// 1.2 added the self-healing plane fields (per-node recovery stats,
+// lost/degraded node sets, invariant check counts, interruption).
+const SchemaVersion = "1.2"
 
 // SchemaVersionError reports a fleet summary written by an
 // incompatible (different-major) schema version; match with errors.As.
@@ -202,8 +242,29 @@ type Summary struct {
 	// survivors' statistics are still reported.
 	DeadNodes int `json:"dead_nodes,omitempty"`
 
+	// Self-healing plane rollups: total checkpoint restarts performed
+	// fleet-wide, the nodes that ended lost (restart budget exhausted,
+	// a subset of the dead set), and the nodes that crashed but
+	// recovered and survived to the end (degraded, not dead).
+	Recoveries    int   `json:"recoveries,omitempty"`
+	LostNodes     []int `json:"lost_nodes,omitempty"`
+	DegradedNodes []int `json:"degraded_nodes,omitempty"`
+
+	// InvariantChecks counts runtime invariant checks that passed
+	// across the fleet (per-node simulation checks, baselines included,
+	// plus the coordinator's own); a violated invariant aborts with a
+	// typed *invariant.Violation instead of counting.
+	InvariantChecks uint64 `json:"invariant_checks,omitempty"`
+
+	// Interrupted marks a run stopped through Config.Interrupt;
+	// EpochsCompleted is the boundary it stopped at.
+	Interrupted     bool `json:"interrupted,omitempty"`
+	EpochsCompleted int  `json:"epochs_completed,omitempty"`
+
 	// Events is the total simulation events fired across the fleet
-	// (managed runs plus baselines).
+	// (managed runs plus baselines). Recovery replays re-fire events,
+	// so a run with crashes reports more of them than the same-seed
+	// undisturbed run even when every simulated metric is identical.
 	Events uint64 `json:"events"`
 }
 
@@ -214,18 +275,33 @@ type Summary struct {
 // parallelism is across nodes only, every reduction runs in node
 // order on the caller's goroutine, and the coordinator is serial.
 //
-// Node failures (injected panics, transient faults) kill only that
-// node: it is excluded from subsequent epochs and the tail statistics,
-// and its error is joined into the returned error alongside the valid
-// Summary (mirroring Sweep's partial-failure contract).
+// Node failures (injected panics, transient faults, exhausted restart
+// budgets) kill only that node: it is excluded from subsequent epochs
+// and the tail statistics, and its error is joined into the returned
+// error alongside the valid Summary (mirroring Sweep's partial-failure
+// contract).
 func Run(ctx context.Context, c Config) (Summary, error) {
+	sum, _, err := run(ctx, c, false)
+	return sum, err
+}
+
+// RunWithCheckpoint is Run with an interrupt-checkpoint contract: when
+// c.Interrupt fires, the fleet stops at the next window boundary and
+// the returned bundle carries every live node's full checkpoint at
+// that boundary, alongside the partial summary and ErrInterrupted.
+// The bundle is nil on an uninterrupted run.
+func RunWithCheckpoint(ctx context.Context, c Config) (Summary, *CheckpointBundle, error) {
+	return run(ctx, c, true)
+}
+
+func run(ctx context.Context, c Config, wantBundle bool) (Summary, *CheckpointBundle, error) {
 	c = c.withDefaults()
 	nodes, err := buildNodes(c)
 	if err != nil {
-		return Summary{}, err
+		return Summary{}, nil, err
 	}
 	if len(nodes) == 0 {
-		return Summary{}, errors.New("fleet: no nodes configured")
+		return Summary{}, nil, errors.New("fleet: no nodes configured")
 	}
 
 	// Phase 1: paired baselines, parallel across nodes. The baseline
@@ -240,7 +316,7 @@ func Run(ctx context.Context, c Config) (Summary, error) {
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return Summary{}, err
+		return Summary{}, nil, err
 	}
 
 	// Phase 2: build the managed systems (cheap, serial).
@@ -254,12 +330,27 @@ func Run(ctx context.Context, c Config) (Summary, error) {
 	}
 
 	// Phase 3: lockstep fleet epochs. Every step advances all live
-	// nodes by CapEvery OS epochs in parallel, then the serial
-	// coordinator reassigns caps from the step's measurements.
+	// nodes by CapEvery OS epochs in parallel — each node under its own
+	// self-healing supervisor — then the serial coordinator absorbs
+	// losses and recoveries and reassigns caps from the step's
+	// measurements.
+	tel := c.Telemetry
+	epochLen := config.Default().Policy.EpochLength
 	var capTrace []CapStep
 	var caps []config.FreqMHz
+	var fleetChecks uint64
 	capping := c.BudgetW > 0
-	for done := 0; done < c.Epochs; done += c.CapEvery {
+	interrupted := false
+	done := 0
+	for done < c.Epochs {
+		select {
+		case <-c.Interrupt:
+			interrupted = true
+		default:
+		}
+		if interrupted {
+			break
+		}
 		k := c.CapEvery
 		if done+k > c.Epochs {
 			k = c.Epochs - done
@@ -270,13 +361,37 @@ func Run(ctx context.Context, c Config) (Summary, error) {
 			}
 			return nodes[i].stepWindow(ctx, k)
 		}, nil)
+		now := config.Time(done+k) * epochLen
 		for i, err := range stepErrs {
 			if err != nil && !nodes[i].dead {
 				nodes[i].dead, nodes[i].err = true, err
+				tel.NodeLost(now, nodes[i].global, false, nodes[i].restarts)
 			}
 		}
 		if err := ctx.Err(); err != nil {
-			return Summary{}, err
+			return Summary{}, nil, err
+		}
+		// Serial recovery bookkeeping, in node order: crash recoveries
+		// that succeeded inside the window, then coordinator-visible
+		// loss windows opening and closing. A lost node keeps
+		// simulating — the coordinator just cannot see or steer it until
+		// the window closes and it is re-admitted.
+		for _, n := range nodes {
+			if n.dead {
+				continue
+			}
+			if n.windowRestarts > 0 {
+				tel.NodeRecovered(now, n.global, false, n.attempt)
+			}
+			wasLost := n.lost
+			n.lost = n.chaos.LostAt(done + k)
+			switch {
+			case n.lost && !wasLost:
+				n.lossWindows++
+				tel.NodeLost(now, n.global, true, n.restarts)
+			case !n.lost && wasLost:
+				tel.NodeRecovered(now, n.global, true, n.attempt)
+			}
 		}
 		if capping && done+k < c.Epochs {
 			obs := make([]nodeObs, len(nodes))
@@ -284,26 +399,54 @@ func Run(ctx context.Context, c Config) (Summary, error) {
 				obs[i] = n.observe()
 			}
 			newCaps, step := planCaps(done+k, c.BudgetW, obs, caps)
+			// Coordinator invariant: the planner never estimates above
+			// the budget without declaring the deficit.
+			if err := invariant.Check("cap_within_budget",
+				step.DeficitW > 0 || step.EstimatedW <= c.BudgetW*(1+1e-9),
+				"epoch %d: estimated fleet power %.6f W exceeds budget %.6f W with no declared deficit",
+				done+k, step.EstimatedW, c.BudgetW); err != nil {
+				return Summary{}, nil, err
+			}
+			fleetChecks++
 			for i, n := range nodes {
 				if n.dead || newCaps[i] == 0 {
 					continue
 				}
-				if err := n.sys.SetFrequencyCap(newCaps[i]); err != nil {
-					return Summary{}, err
+				if err := n.applyCap(newCaps[i]); err != nil {
+					return Summary{}, nil, err
 				}
 			}
 			caps = newCaps
 			capTrace = append(capTrace, step)
 		}
+		done += k
 	}
 
-	// Phase 4: finalize and reduce, strictly in node order.
+	// The interrupt bundle must be captured on the quiescent window
+	// boundary, before finalize.
+	var bundle *CheckpointBundle
+	if interrupted && wantBundle {
+		if bundle, err = bundleNodes(c, nodes, done); err != nil {
+			return Summary{}, nil, err
+		}
+	}
+
+	// Phase 4: finalize and reduce, strictly in node order. A node
+	// interrupted before its first epoch has nothing to finalize.
 	for _, n := range nodes {
-		if !n.dead {
+		if !n.dead && n.epochs > 0 {
 			n.res = n.sys.Finalize()
 		}
 	}
-	return summarize(c, nodes, caps, capTrace), joinNodeErrors(nodes)
+	sum := summarize(c, nodes, caps, capTrace)
+	sum.InvariantChecks += fleetChecks
+	errOut := joinNodeErrors(nodes)
+	if interrupted {
+		sum.Interrupted = true
+		sum.EpochsCompleted = done
+		errOut = errors.Join(ErrInterrupted, errOut)
+	}
+	return sum, bundle, errOut
 }
 
 // buildNodes expands the group specs into the flat node list, with
@@ -331,6 +474,18 @@ func buildNodes(c Config) ([]*node, error) {
 		if err := cfg.Validate(); err != nil {
 			return nil, fmt.Errorf("fleet: group %d (%s): %w", gi, g.Name, err)
 		}
+		rec := c.Recovery
+		if g.Recovery != nil {
+			rec = g.Recovery
+		}
+		var recEff *RecoverySpec
+		if rec != nil {
+			if err := rec.Validate(); err != nil {
+				return nil, fmt.Errorf("fleet: group %d (%s): recovery: %w", gi, g.Name, err)
+			}
+			r := rec.withDefaults()
+			recEff = &r
+		}
 		for ni := 0; ni < g.Nodes; ni++ {
 			n := &node{
 				group:     gi,
@@ -340,6 +495,7 @@ func buildNodes(c Config) ([]*node, error) {
 				mix:       g.Mix,
 				spec:      g.Spec,
 				faultsCfg: g.Faults,
+				recovery:  recEff,
 				seed:      c.Seed,
 			}
 			n.schedule = arr.schedule(c.Seed, n.global, c.Epochs, epochSec)
@@ -381,14 +537,28 @@ func summarize(c Config, nodes []*node, caps []config.FreqMHz, capTrace []CapSte
 		if len(n.schedule) > 0 {
 			ns.MeanIntensity = meanIntensity / float64(len(n.schedule))
 		}
+		ns.Attempts = n.restarts
+		ns.Crashes = n.crashes
+		ns.RecoveryEpochs = n.recoveryEpochs
+		ns.CorruptCheckpoints = n.corruptCkpts
+		ns.LossWindows = n.lossWindows
+		sum.Recoveries += n.restarts
+		sum.InvariantChecks += n.res.InvariantChecks + n.baseRes.InvariantChecks
 		if n.dead {
 			ns.Dead = true
 			if n.err != nil {
 				ns.Err = n.err.Error()
 			}
+			if errors.Is(n.err, ErrNodeLost) {
+				ns.Lost = true
+				sum.LostNodes = append(sum.LostNodes, n.global)
+			}
 			sum.DeadNodes++
 			sum.PerNode = append(sum.PerNode, ns)
 			continue
+		}
+		if n.restarts > 0 {
+			sum.DegradedNodes = append(sum.DegradedNodes, n.global)
 		}
 		sys := n.systemEnergy(n.res)
 		base := n.systemEnergy(n.baseRes)

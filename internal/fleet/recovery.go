@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"memscale/internal/checkpoint"
+	"memscale/internal/sim"
+)
+
+// This file is the fleet's self-healing plane: the per-node supervisor
+// spec (bounded checkpoint restarts with exponential backoff and a
+// per-window watchdog), the typed errors the plane surfaces, and the
+// interrupt-checkpoint bundle a stopping fleet writes so a run can be
+// carried past a SIGTERM.
+//
+// The recovery contract is transparency: a node that crashes inside a
+// fleet window is restored from its last periodic snapshot and
+// replayed to the window boundary before the coordinator looks at it,
+// so a recovered node's observations — and therefore every surviving
+// node's caps and metrics — are bit-identical to the same-seed run
+// with no crashes at all.
+
+// ErrNodeLost reports a node whose restart budget ran out: the
+// supervisor crashed it MaxRetries+1 times inside one fleet window
+// without completing it. The node is marked dead, its budget is
+// re-water-filled across the survivors, and the fleet keeps running.
+// Matched with errors.Is.
+var ErrNodeLost = errors.New("fleet: node lost")
+
+// ErrInterrupted reports a fleet run stopped early through
+// Config.Interrupt: the summary covers the epochs completed at the
+// stop boundary. Matched with errors.Is (it wraps the checkpoint
+// plane's shared checkpoint.ErrInterrupted sentinel).
+var ErrInterrupted = fmt.Errorf("fleet: %w", checkpoint.ErrInterrupted)
+
+// RecoverySpec defaults.
+const (
+	// DefaultMaxRetries is the per-window restart budget when
+	// RecoverySpec.MaxRetries is zero.
+	DefaultMaxRetries = 3
+
+	// DefaultCheckpointEvery is the periodic snapshot cadence in epochs
+	// when RecoverySpec.CheckpointEvery is zero.
+	DefaultCheckpointEvery = 1
+
+	// DefaultBackoff is the base restart delay when RecoverySpec.Backoff
+	// is zero.
+	DefaultBackoff = time.Millisecond
+)
+
+// RecoverySpec configures the self-healing supervisor each node runs
+// under. A nil spec disables recovery entirely: no periodic snapshots
+// are taken, no watchdog runs, and an injected crash loses the node
+// immediately.
+type RecoverySpec struct {
+	// MaxRetries bounds checkpoint restarts per fleet window; when a
+	// node crashes more than MaxRetries times inside one window it is
+	// given up with ErrNodeLost (0 selects the default 3).
+	MaxRetries int
+
+	// CheckpointEvery is the periodic snapshot cadence in epochs
+	// (0 selects the default 1: snapshot at every epoch boundary).
+	CheckpointEvery int
+
+	// StepTimeout is the per-attempt watchdog over one fleet window of
+	// host time; an attempt that exceeds it (a straggler, a wedged
+	// node) is treated exactly like a crash and recovered from the last
+	// snapshot. 0 disables the watchdog.
+	StepTimeout time.Duration
+
+	// Backoff is the base host-time delay before a restart, doubling
+	// per retry (0 selects the default 1ms; negative is rejected).
+	Backoff time.Duration
+}
+
+func (r RecoverySpec) withDefaults() RecoverySpec {
+	if r.MaxRetries == 0 {
+		r.MaxRetries = DefaultMaxRetries
+	}
+	if r.CheckpointEvery == 0 {
+		r.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if r.Backoff == 0 {
+		r.Backoff = DefaultBackoff
+	}
+	return r
+}
+
+// Validate rejects a malformed spec.
+func (r RecoverySpec) Validate() error {
+	switch {
+	case r.MaxRetries < 0:
+		return fmt.Errorf("max retries must be >= 0 (0 selects the default %d), got %d", DefaultMaxRetries, r.MaxRetries)
+	case r.CheckpointEvery < 0:
+		return fmt.Errorf("checkpoint cadence must be >= 0 epochs (0 selects the default %d), got %d", DefaultCheckpointEvery, r.CheckpointEvery)
+	case r.StepTimeout < 0:
+		return fmt.Errorf("step timeout must be >= 0 (0 disables the watchdog), got %v", r.StepTimeout)
+	case r.Backoff < 0:
+		return fmt.Errorf("restart backoff must be >= 0 (0 selects the default %v), got %v", DefaultBackoff, r.Backoff)
+	}
+	return nil
+}
+
+// crashFault is the supervisor-internal marker for a recoverable node
+// death: an injected crash or a watchdog timeout. It never escapes
+// stepWindow — exhausted retries convert it into ErrNodeLost.
+type crashFault struct {
+	epoch   int
+	timeout bool
+}
+
+func (c *crashFault) Error() string {
+	if c.timeout {
+		return fmt.Sprintf("watchdog timeout at epoch %d", c.epoch)
+	}
+	return fmt.Sprintf("crash injected at epoch %d", c.epoch)
+}
+
+// nodeCheckpoint is one node's periodic in-memory snapshot: the
+// encoded container (run through the real checkpoint codec, so
+// write-corruption faults are caught by its CRC exactly like a disk
+// flip would be) plus the window observation accumulators at the
+// snapshot instant, which the container deliberately does not carry.
+type nodeCheckpoint struct {
+	valid bool
+	epoch int    // epochs completed at the snapshot
+	data  []byte // encoded checkpoint container
+
+	windowJ    float64
+	windowSec  float64
+	windowBgJ  float64
+	windowRefJ float64
+	lastRec    sim.EpochRecord
+}
+
+// BundleSchemaVersion is the fleet checkpoint bundle format version
+// ("MAJOR.MINOR"); readers accept matching majors only.
+const BundleSchemaVersion = "1.0"
+
+const bundleMagic = "memscale-fleet-checkpoint"
+
+// NodeCheckpoint is one node's entry in an interrupt bundle.
+type NodeCheckpoint struct {
+	Node   int    `json:"node"`
+	Group  string `json:"group"`
+	Epochs int    `json:"epochs"`
+
+	Checkpoint *checkpoint.Checkpoint `json:"checkpoint"`
+}
+
+// CheckpointBundle is the state a fleet writes when interrupted: one
+// full checkpoint per live node, captured at the window boundary the
+// run stopped on.
+type CheckpointBundle struct {
+	Magic           string `json:"magic"`
+	SchemaVersion   string `json:"schema_version"`
+	EpochsCompleted int    `json:"epochs_completed"`
+	TotalEpochs     int    `json:"total_epochs"`
+
+	Nodes []NodeCheckpoint `json:"nodes"`
+}
+
+// WriteBundle encodes the bundle as JSON with the magic and current
+// schema version stamped on it.
+func WriteBundle(w io.Writer, b *CheckpointBundle) error {
+	stamped := *b
+	stamped.Magic = bundleMagic
+	stamped.SchemaVersion = BundleSchemaVersion
+	return json.NewEncoder(w).Encode(&stamped)
+}
+
+// ReadBundle decodes a bundle written by WriteBundle, rejecting
+// foreign files and incompatible schema majors.
+func ReadBundle(r io.Reader) (*CheckpointBundle, error) {
+	var b CheckpointBundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("fleet checkpoint bundle: %w", err)
+	}
+	if b.Magic != bundleMagic {
+		return nil, fmt.Errorf("fleet checkpoint bundle: magic %q is not %q", b.Magic, bundleMagic)
+	}
+	if major(b.SchemaVersion) != major(BundleSchemaVersion) {
+		return nil, &SchemaVersionError{Version: b.SchemaVersion}
+	}
+	return &b, nil
+}
+
+// bundleNodes snapshots every live node into an interrupt bundle. It
+// must run before Finalize (the capture needs the quiescent epoch
+// boundary the lockstep loop stopped on).
+func bundleNodes(c Config, nodes []*node, done int) (*CheckpointBundle, error) {
+	b := &CheckpointBundle{EpochsCompleted: done, TotalEpochs: c.Epochs}
+	for _, n := range nodes {
+		if n.dead {
+			continue
+		}
+		st, err := n.sys.Save()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: node %d checkpoint: %w", n.global, err)
+		}
+		b.Nodes = append(b.Nodes, NodeCheckpoint{
+			Node:   n.global,
+			Group:  c.Groups[n.group].Name,
+			Epochs: n.epochs,
+			Checkpoint: &checkpoint.Checkpoint{
+				Meta: checkpoint.Meta{
+					Mix:    n.mix.Name,
+					Policy: n.spec.Name,
+					Gamma:  n.runCfg.Policy.Gamma,
+					NonMem: n.nonMem,
+					Epochs: n.epochs,
+				},
+				Config: n.runCfg,
+				Base:   n.cfg,
+				State:  st,
+			},
+		})
+	}
+	return b, nil
+}

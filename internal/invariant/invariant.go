@@ -1,0 +1,80 @@
+// Package invariant is the simulator's runtime invariant plane: cheap,
+// always-on conservation checks that every hot path re-verifies as it
+// runs. Where the test suite proves properties for the configurations
+// it happens to cover, the invariant plane proves them for the run in
+// front of the user — energy totals reconcile with the per-epoch
+// witness, slack ledgers never go negative, DRAM state residency sums
+// to exactly the accounted wall-clock, cluster cap assignments respect
+// the budget, and a restored-then-recovered node resumes at precisely
+// the epoch its checkpoint recorded.
+//
+// A failed check fires a typed *Violation wrapping ErrInvariant, so
+// callers classify with errors.Is(err, ErrInvariant) and read the
+// offending check's stable name from the violation. The package is
+// dependency-free (std only) so every layer — sim, fleet, runner — can
+// consume it without import cycles.
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvariant is the sentinel every violation wraps; match it with
+// errors.Is.
+var ErrInvariant = errors.New("invariant violation")
+
+// Violation reports one failed runtime check. Name is the check's
+// stable identifier (snake_case, e.g. "residency_epoch_sum"); Detail
+// the human-readable evidence.
+type Violation struct {
+	Name   string
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("invariant %s violated: %s", v.Name, v.Detail)
+}
+
+// Unwrap makes errors.Is(v, ErrInvariant) true.
+func (v *Violation) Unwrap() error { return ErrInvariant }
+
+// Violated builds a typed violation for the named check.
+func Violated(name, format string, args ...any) error {
+	return &Violation{Name: name, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Check returns nil when ok, otherwise a typed violation.
+func Check(name string, ok bool, format string, args ...any) error {
+	if ok {
+		return nil
+	}
+	return Violated(name, format, args...)
+}
+
+// CloseRel reports whether a and b agree within relative tolerance
+// relTol (anchored at the larger magnitude; exact equality always
+// passes, including both zero). NaN never agrees with anything —
+// a NaN accumulator is precisely the corruption the plane exists to
+// catch.
+func CloseRel(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= relTol*scale
+}
+
+// CheckCloseRel is Check over CloseRel with a standard detail message.
+func CheckCloseRel(name string, a, b, relTol float64) error {
+	if CloseRel(a, b, relTol) {
+		return nil
+	}
+	return Violated(name, "%g vs %g differ beyond relative tolerance %g (delta %g)",
+		a, b, relTol, math.Abs(a-b))
+}

@@ -1,0 +1,64 @@
+package invariant
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestViolationTyping(t *testing.T) {
+	err := Violated("slack_nonnegative", "core %d slack %.3g", 2, -0.5)
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("violation does not wrap ErrInvariant: %v", err)
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("violation not extractable with errors.As: %v", err)
+	}
+	if v.Name != "slack_nonnegative" {
+		t.Fatalf("name = %q, want slack_nonnegative", v.Name)
+	}
+	if got := v.Error(); got == "" || got == v.Detail {
+		t.Fatalf("Error() should combine name and detail, got %q", got)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check("cap_within_budget", true, "unused"); err != nil {
+		t.Fatalf("passing check returned error: %v", err)
+	}
+	err := Check("cap_within_budget", false, "est %.1f > budget %.1f", 120.0, 100.0)
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("failing check not typed: %v", err)
+	}
+}
+
+func TestCloseRel(t *testing.T) {
+	cases := []struct {
+		name   string
+		a, b   float64
+		tol    float64
+		agrees bool
+	}{
+		{"exact", 1.5, 1.5, 0, true},
+		{"both zero", 0, 0, 1e-9, true},
+		{"within", 1.0, 1.0 + 1e-12, 1e-9, true},
+		{"beyond", 1.0, 1.0 + 1e-6, 1e-9, false},
+		{"nan left", math.NaN(), 1.0, 1e-3, false},
+		{"nan both", math.NaN(), math.NaN(), 1e-3, false},
+		{"inf", math.Inf(1), 1.0, 1e-3, false},
+		{"large scale", 1e12, 1e12 + 1, 1e-9, true},
+		{"zero vs tiny", 0, 1e-300, 1e-9, false},
+	}
+	for _, tc := range cases {
+		if got := CloseRel(tc.a, tc.b, tc.tol); got != tc.agrees {
+			t.Errorf("%s: CloseRel(%g,%g,%g) = %v, want %v", tc.name, tc.a, tc.b, tc.tol, got, tc.agrees)
+		}
+	}
+	if err := CheckCloseRel("energy_witness", 1.0, 2.0, 1e-9); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("CheckCloseRel mismatch not typed: %v", err)
+	}
+	if err := CheckCloseRel("energy_witness", 3.25, 3.25, 0); err != nil {
+		t.Fatalf("CheckCloseRel exact match errored: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"memscale/internal/checkpoint"
 	"memscale/internal/config"
 	"memscale/internal/faults"
+	"memscale/internal/invariant"
 	"memscale/internal/policies"
 	"memscale/internal/sim"
 	"memscale/internal/telemetry"
@@ -19,6 +20,12 @@ import (
 // This file is the engine's checkpoint plane: warm-start forking for
 // sweeps that share a simulation prefix, and checkpoint/resume for
 // long-horizon runs that must survive interruption.
+
+// ErrInterrupted reports a checkpoint-driven run stopped early through
+// Job.Interrupt after capturing its state at the epoch boundary it
+// halted on. Matched with errors.Is (it wraps the checkpoint plane's
+// shared checkpoint.ErrInterrupted sentinel).
+var ErrInterrupted = fmt.Errorf("runner: %w", checkpoint.ErrInterrupted)
 
 // jobConfig derives the two configurations a job runs under: base is
 // the configuration the unmanaged baseline pairs against (machine
@@ -220,19 +227,15 @@ func (e *Engine) RunWithCheckpoint(ctx context.Context, job Job, ckEpoch int) (o
 
 	var aborts uint64
 	for attempt := 0; ; attempt++ {
-		out, snap, err := e.runCheckpointAttempt(ctx, job, cfg, nonMem, attempt, ckEpoch)
-		if err == nil {
-			out.Mix, out.Policy = job.Mix, job.Spec.Name
-			out.NonMem, out.Base = nonMem, base
-			out.Attempts = attempt + 1
-			out.Res.Faults.TransientAborts += aborts
+		out, snap, snapEpochs, err := e.runCheckpointAttempt(ctx, job, cfg, nonMem, attempt, ckEpoch)
+		if err == nil || errors.Is(err, ErrInterrupted) {
 			ck := &checkpoint.Checkpoint{
 				Meta: checkpoint.Meta{
 					Mix:     job.Mix.Name,
 					Policy:  job.Spec.Name,
 					Gamma:   cfg.Policy.Gamma,
 					NonMem:  nonMem,
-					Epochs:  ckEpoch,
+					Epochs:  snapEpochs,
 					Faults:  job.Faults,
 					Attempt: attempt,
 				},
@@ -240,6 +243,15 @@ func (e *Engine) RunWithCheckpoint(ctx context.Context, job Job, ckEpoch int) (o
 				Base:   baseCfg,
 				State:  snap,
 			}
+			if err != nil {
+				// Interrupted: the checkpoint carries the boundary the
+				// run stopped on; there is no finished outcome to pair.
+				return Outcome{}, ck, err
+			}
+			out.Mix, out.Policy = job.Mix, job.Spec.Name
+			out.NonMem, out.Base = nonMem, base
+			out.Attempts = attempt + 1
+			out.Res.Faults.TransientAborts += aborts
 			return out, ck, nil
 		}
 		if !errors.Is(err, faults.ErrTransient) || attempt >= retries || ctx.Err() != nil {
@@ -250,8 +262,11 @@ func (e *Engine) RunWithCheckpoint(ctx context.Context, job Job, ckEpoch int) (o
 }
 
 // runCheckpointAttempt is runAttempt driven through StepEpoch so the
-// state can be captured at the ckEpoch boundary mid-run.
-func (e *Engine) runCheckpointAttempt(ctx context.Context, job Job, cfg config.Config, nonMem float64, attempt, ckEpoch int) (Outcome, *sim.SystemState, error) {
+// state can be captured at the ckEpoch boundary mid-run (or, when
+// Job.Interrupt fires, at whatever epoch boundary the run stopped on —
+// reported through the returned completed-epoch count alongside
+// ErrInterrupted).
+func (e *Engine) runCheckpointAttempt(ctx context.Context, job Job, cfg config.Config, nonMem float64, attempt, ckEpoch int) (Outcome, *sim.SystemState, int, error) {
 	timeout := job.Timeout
 	if timeout <= 0 {
 		timeout = e.jobTimeout
@@ -267,12 +282,12 @@ func (e *Engine) runCheckpointAttempt(ctx context.Context, job Job, cfg config.C
 	if job.Faults != nil {
 		var err error
 		if inj, err = faults.New(*job.Faults, attempt); err != nil {
-			return Outcome{}, nil, fmt.Errorf("runner: %w", err)
+			return Outcome{}, nil, 0, fmt.Errorf("runner: %w", err)
 		}
 	}
 	streams, err := job.Mix.Streams(&cfg)
 	if err != nil {
-		return Outcome{}, nil, err
+		return Outcome{}, nil, 0, err
 	}
 	var gov sim.Governor
 	if job.Spec.Governor != nil {
@@ -292,7 +307,7 @@ func (e *Engine) runCheckpointAttempt(ctx context.Context, job Job, cfg config.C
 		Faults:       inj,
 	})
 	if err != nil {
-		return Outcome{}, nil, err
+		return Outcome{}, nil, 0, err
 	}
 
 	target := config.Time(job.Epochs) * cfg.Policy.EpochLength
@@ -305,22 +320,33 @@ func (e *Engine) runCheckpointAttempt(ctx context.Context, job Job, cfg config.C
 		rec, err := s.StepEpoch(ctx)
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
-				return Outcome{}, nil, fmt.Errorf("runner: job exceeded %v watchdog: %w", timeout, ErrJobTimeout)
+				return Outcome{}, nil, 0, fmt.Errorf("runner: job exceeded %v watchdog: %w", timeout, ErrJobTimeout)
 			}
-			return Outcome{}, nil, err
+			return Outcome{}, nil, 0, err
 		}
 		if rec.Index+1 == ckEpoch {
 			if snap, err = s.Save(); err != nil {
-				return Outcome{}, nil, fmt.Errorf("runner: checkpoint save: %w", err)
+				return Outcome{}, nil, 0, fmt.Errorf("runner: checkpoint save: %w", err)
 			}
 		}
 		if rec.End >= target || rec.End >= maxDur {
 			break
 		}
+		// Soft stop: finish the epoch just stepped, capture the state at
+		// this boundary, and hand it back as the final checkpoint.
+		select {
+		case <-job.Interrupt:
+			snap, err = s.Save()
+			if err != nil {
+				return Outcome{}, nil, 0, fmt.Errorf("runner: interrupt checkpoint save: %w", err)
+			}
+			return Outcome{}, snap, rec.Index + 1, ErrInterrupted
+		default:
+		}
 	}
 	res := s.Finalize()
 	if snap == nil {
-		return Outcome{}, nil, fmt.Errorf("runner: run ended before checkpoint epoch %d", ckEpoch)
+		return Outcome{}, nil, 0, fmt.Errorf("runner: run ended before checkpoint epoch %d", ckEpoch)
 	}
 
 	out := Outcome{Res: res}
@@ -343,10 +369,10 @@ func (e *Engine) runCheckpointAttempt(ctx context.Context, job Job, cfg config.C
 			NonMemPowerW: nonMem,
 		}, freqSeconds)
 		if err := rec.SinkErr(); err != nil {
-			return Outcome{}, nil, fmt.Errorf("runner: telemetry sink: %w", err)
+			return Outcome{}, nil, 0, fmt.Errorf("runner: telemetry sink: %w", err)
 		}
 	}
-	return out, snap, nil
+	return out, snap, ckEpoch, nil
 }
 
 // ResumeJob describes how to continue a checkpointed run.
@@ -394,6 +420,15 @@ func (e *Engine) Resume(ctx context.Context, rj ResumeJob) (out Outcome, err err
 	}
 	if rj.Epochs <= ck.Meta.Epochs {
 		return Outcome{}, fmt.Errorf("runner: resume epochs (%d) must exceed the checkpoint's completed %d", rj.Epochs, ck.Meta.Epochs)
+	}
+	// Invariant: the container's meta and state image must agree on how
+	// many epochs the snapshot covers — a mismatch means a hand-edited
+	// or miswritten container, and resuming it would silently shift the
+	// schedule.
+	if err := invariant.Check("resume_epoch", ck.State.EpochIdx == ck.Meta.Epochs,
+		"checkpoint meta records %d completed epochs but the state image is at epoch %d",
+		ck.Meta.Epochs, ck.State.EpochIdx); err != nil {
+		return Outcome{}, fmt.Errorf("runner: %w", err)
 	}
 	mix, err := workload.ByName(ck.Meta.Mix)
 	if err != nil {

@@ -105,6 +105,13 @@ type Job struct {
 	// total run length including the prefix. The baseline pairing is
 	// unchanged: it is the cold unmanaged run of the full length.
 	Warm *sim.SystemState
+
+	// Interrupt, when non-nil, is a soft-stop signal honored by
+	// checkpoint-driven runs (RunWithCheckpoint): once it fires the run
+	// finishes its current epoch, captures the state at that boundary,
+	// and returns the partial checkpoint with ErrInterrupted. A nil
+	// channel (the zero value) never fires. Plain Run ignores it.
+	Interrupt <-chan struct{}
 }
 
 // Outcome is one managed run paired with its baseline.

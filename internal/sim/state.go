@@ -45,9 +45,10 @@ type StatefulGovernor interface {
 // ResultState is the accumulating portion of a Result: everything
 // finalize() derives is recomputed, these fields grow epoch by epoch.
 type ResultState struct {
-	FreqTime map[config.FreqMHz]config.Time `json:"freq_time,omitempty"`
-	Faults   faults.Counts                  `json:"faults"`
-	Epochs   []EpochRecord                  `json:"epochs,omitempty"`
+	FreqTime        map[config.FreqMHz]config.Time `json:"freq_time,omitempty"`
+	Faults          faults.Counts                  `json:"faults"`
+	Epochs          []EpochRecord                  `json:"epochs,omitempty"`
+	InvariantChecks uint64                         `json:"invariant_checks,omitempty"`
 }
 
 // SystemState is the complete serializable image of a System at an
@@ -109,9 +110,10 @@ func (s *System) Save() (*SystemState, error) {
 		Streams: make([]trace.StreamState, len(s.Cores)),
 		Meter:   s.Meter.Save(),
 		Result: ResultState{
-			FreqTime: make(map[config.FreqMHz]config.Time, len(s.result.FreqTime)),
-			Faults:   s.result.Faults,
-			Epochs:   append([]EpochRecord(nil), s.result.Epochs...),
+			FreqTime:        make(map[config.FreqMHz]config.Time, len(s.result.FreqTime)),
+			Faults:          s.result.Faults,
+			Epochs:          append([]EpochRecord(nil), s.result.Epochs...),
+			InvariantChecks: s.result.InvariantChecks,
 		},
 		LastCounters: s.lastCounters.Clone(),
 		LastInstr:    append([]float64(nil), s.lastInstr...),
@@ -213,6 +215,11 @@ func (s *System) load(st *SystemState) error {
 	}
 	s.result.Faults = st.Result.Faults
 	s.result.Epochs = append([]EpochRecord(nil), st.Result.Epochs...)
+	s.result.InvariantChecks = st.Result.InvariantChecks
+	// Re-seed the invariant plane's energy witness from the restored
+	// meter so the conservation check continues from the checkpoint's
+	// exact total instead of re-accumulating association drift.
+	s.invEnergyJ = s.Meter.Total().Memory()
 	s.lastCounters = st.LastCounters.Clone()
 	s.lastInstr = append([]float64(nil), st.LastInstr...)
 	s.capFreq = st.CapFreq

@@ -15,6 +15,7 @@ import (
 	"memscale/internal/dram"
 	"memscale/internal/event"
 	"memscale/internal/faults"
+	"memscale/internal/invariant"
 	"memscale/internal/memctrl"
 	"memscale/internal/power"
 	"memscale/internal/telemetry"
@@ -127,6 +128,12 @@ type Result struct {
 	// the denominator that normalizes host-time throughput (events/op)
 	// across workload changes.
 	Events uint64
+
+	// InvariantChecks is the number of runtime invariant checks that
+	// passed over the run (energy conservation, residency summation,
+	// slack ledger). A violated check aborts the run with a typed
+	// *invariant.Violation instead of counting.
+	InvariantChecks uint64
 }
 
 // SystemEnergy returns total server energy for the run.
@@ -208,6 +215,12 @@ type System struct {
 	// bursts schedule without capturing a closure and a checkpoint can
 	// name the pending bursts.
 	onForceRefresh event.Bound
+
+	// invEnergyJ is the invariant plane's energy witness: the running
+	// sum of per-epoch memory energy, accumulated with a different
+	// float association than the meter's per-interval total so the two
+	// cross-check each other.
+	invEnergyJ float64
 }
 
 // stepState is the loop-carried state of the epoch loop, hoisted out of
@@ -218,6 +231,7 @@ type stepState struct {
 		PredictedMeanCPI(config.FreqMHz) float64
 	}
 	slacker  interface{ Slack() []config.Time }
+	minSlack interface{ MinSlack() config.Time }
 	degrader DegradableGovernor
 
 	perChannel    bool
@@ -282,6 +296,7 @@ func (s *System) bindGovernor() {
 		PredictedMeanCPI(config.FreqMHz) float64
 	})
 	s.step.slacker, _ = s.opts.Governor.(interface{ Slack() []config.Time })
+	s.step.minSlack, _ = s.opts.Governor.(interface{ MinSlack() config.Time })
 	s.step.degrader, _ = s.opts.Governor.(DegradableGovernor)
 	_, s.step.perChannel = s.opts.Governor.(PerChannelGovernor)
 	// Fault classes that disturb the control path only make sense
@@ -666,6 +681,10 @@ func (s *System) stepEpoch(ctx context.Context, wantRec bool) (EpochRecord, erro
 			s.step.prevSlack = cur
 		}
 
+		if err := s.checkInvariants(start, epochEnd, p, ep); err != nil {
+			return EpochRecord{}, err
+		}
+
 		var rec EpochRecord
 		if wantRec || s.opts.KeepTimeline || tel != nil {
 			rec = s.snapshotEpoch(idx, start, decisionAt, epochEnd, chosen, want, chosenPer, p, ep)
@@ -692,6 +711,57 @@ func (s *System) stepEpoch(ctx context.Context, wantRec bool) (EpochRecord, erro
 		}
 		return rec, nil
 	}
+}
+
+// energyWitnessRelTol bounds the drift between the invariant plane's
+// per-epoch energy witness and the meter's per-interval total. The two
+// sum the same values under different float associations, so they
+// agree to a few ulps per epoch; 1e-9 relative leaves ~7 orders of
+// magnitude of headroom over that while catching any real divergence
+// (a dropped interval, a double count, a NaN).
+const energyWitnessRelTol = 1e-9
+
+// checkInvariants is the runtime invariant plane's per-epoch pass
+// (DESIGN.md §4j). Every check is allocation-free and runs on every
+// epoch of every run; a failure aborts the epoch with a typed
+// *invariant.Violation wrapping invariant.ErrInvariant.
+func (s *System) checkInvariants(start, epochEnd config.Time, p, ep Profile) error {
+	// Residency conservation: the DRAM background-state account over
+	// the epoch's two windows must sum to exactly epoch-length x ranks
+	// — integer nanosecond bookkeeping, so equality is exact.
+	wantRes := (epochEnd - start) * config.Time(s.Cfg.TotalRanks())
+	gotRes := p.Interval.DRAMTotal().Total() + ep.Interval.DRAMTotal().Total()
+	if gotRes != wantRes {
+		return invariant.Violated("residency_epoch_sum",
+			"epoch [%v, %v): residency sums to %v, want %v (%d ranks)",
+			start, epochEnd, gotRes, wantRes, s.Cfg.TotalRanks())
+	}
+	s.result.InvariantChecks++
+
+	// Energy conservation: the per-epoch witness must track the meter.
+	s.invEnergyJ += p.Energy.Memory() + ep.Energy.Memory()
+	if metered := s.Meter.Total().Memory(); !invariant.CloseRel(s.invEnergyJ, metered, energyWitnessRelTol) {
+		return invariant.Violated("energy_conservation",
+			"epoch ending %v: witness %.12g J vs metered %.12g J beyond %g relative",
+			epochEnd, s.invEnergyJ, metered, energyWitnessRelTol)
+	}
+	s.result.InvariantChecks++
+
+	// Slack ledger: Equation 1's account may dip below zero only by
+	// the model's one-epoch misprediction (EpochEnd refits before
+	// updating, so the realized target can undershoot the projected
+	// one); anything past a full epoch of debt is corruption, not
+	// misprediction.
+	if s.step.minSlack != nil {
+		epoch := s.Cfg.Policy.EpochLength
+		if lo := s.step.minSlack.MinSlack(); lo < -epoch {
+			return invariant.Violated("slack_ledger",
+				"epoch ending %v: min per-core slack %v below one-epoch bound -%v",
+				epochEnd, lo, epoch)
+		}
+		s.result.InvariantChecks++
+	}
+	return nil
 }
 
 // forceRefreshEvent is the bound form of one refresh-storm burst.

@@ -133,6 +133,8 @@ func (r *Recorder) Export(meta RunMeta, freqSeconds map[int]float64) *RunExport 
 			r.PowerIntervals.Name:  r.PowerIntervals.N,
 			r.FaultsInjected.Name:  r.FaultsInjected.N,
 			r.DegradedEpochs.Name:  r.DegradedEpochs.N,
+			r.NodesLost.Name:       r.NodesLost.N,
+			r.NodesRecovered.Name:  r.NodesRecovered.N,
 		},
 		Gauges:     map[string]float64{},
 		Histograms: []*Histogram{r.ReadLatencyNs.Clone(), r.QueueDepth.Clone(), r.EpochHostUs.Clone()},

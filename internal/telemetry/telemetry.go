@@ -73,6 +73,8 @@ type Recorder struct {
 	PowerIntervals  Counter
 	FaultsInjected  Counter
 	DegradedEpochs  Counter
+	NodesLost       Counter
+	NodesRecovered  Counter
 
 	// Gauges (set by the run harness).
 	NonMemPowerW Gauge
@@ -106,6 +108,8 @@ func NewRecorder(opts Options) *Recorder {
 	r.PowerIntervals.Name = "power_intervals"
 	r.FaultsInjected.Name = "faults_injected"
 	r.DegradedEpochs.Name = "degraded_epochs"
+	r.NodesLost.Name = "nodes_lost"
+	r.NodesRecovered.Name = "nodes_recovered"
 	r.NonMemPowerW.Name = "nonmem_power_w"
 	r.GammaBound.Name = "gamma_bound"
 	if opts.Events {
@@ -245,6 +249,39 @@ func (r *Recorder) DegradedEpoch(t config.Time, mask uint8, freq config.FreqMHz)
 	r.DegradedEpochs.Add(1)
 	r.push(Event{Kind: EvDegraded, Time: t, Channel: -1, Rank: -1, Core: -1,
 		A: int64(mask), B: int64(freq)})
+}
+
+// NodeLost records the fleet supervisor giving node up (lossWindow
+// false, attempts = retries spent) or the coordinator losing sight of
+// it (lossWindow true).
+func (r *Recorder) NodeLost(t config.Time, node int, lossWindow bool, attempts int) {
+	if r == nil {
+		return
+	}
+	r.NodesLost.Add(1)
+	var a int64
+	if lossWindow {
+		a = 1
+	}
+	r.push(Event{Kind: EvNodeLost, Time: t, Channel: -1, Rank: -1, Core: node,
+		A: a, B: int64(attempts)})
+}
+
+// NodeRecovered records a node coming back: a checkpoint restart that
+// replayed it to the epoch boundary (rejoin false, attempt = the
+// restart ordinal that succeeded) or a loss window closing (rejoin
+// true).
+func (r *Recorder) NodeRecovered(t config.Time, node int, rejoin bool, attempt int) {
+	if r == nil {
+		return
+	}
+	r.NodesRecovered.Add(1)
+	var a int64
+	if rejoin {
+		a = 1
+	}
+	r.push(Event{Kind: EvRecovered, Time: t, Channel: -1, Rank: -1, Core: node,
+		A: a, B: int64(attempt)})
 }
 
 // ObserveReadLatency records one read's arrival-to-data latency.

@@ -34,8 +34,11 @@ import (
 	"math"
 	"time"
 
+	"memscale/internal/checkpoint"
 	"memscale/internal/config"
 	"memscale/internal/faults"
+	"memscale/internal/fleet"
+	"memscale/internal/invariant"
 	"memscale/internal/policies"
 	"memscale/internal/runner"
 	"memscale/internal/telemetry"
@@ -75,7 +78,30 @@ var (
 	// ErrTransientFault reports a run killed by an injected transient
 	// fault after its automatic retries were exhausted.
 	ErrTransientFault = faults.ErrTransient
+
+	// ErrInvariant reports a runtime invariant violation: one of the
+	// always-on self-checks (energy conservation, residency accounting,
+	// slack ledger bounds, cap-within-budget) found simulator state
+	// that should be impossible. The chain carries an
+	// *InvariantViolation naming the check.
+	ErrInvariant = invariant.ErrInvariant
+
+	// ErrNodeLost reports a fleet node whose self-healing restart
+	// budget ran out; the fleet keeps running and the summary lists the
+	// node in LostNodes (see RunFleet's partial-failure contract).
+	ErrNodeLost = fleet.ErrNodeLost
+
+	// ErrInterrupted reports a run or fleet stopped early by a
+	// soft-stop signal (SIGINT/SIGTERM in the CLIs) after writing its
+	// final checkpoint.
+	ErrInterrupted = checkpoint.ErrInterrupted
 )
+
+// InvariantViolation is the typed error carried by every ErrInvariant
+// failure: Name identifies the check ("energy_conservation",
+// "residency_epoch_sum", "slack_ledger", "cap_within_budget",
+// "resume_epoch"), Detail the observed state. Match with errors.As.
+type InvariantViolation = invariant.Violation
 
 // RunConfig selects and scales one simulation.
 type RunConfig struct {
@@ -160,6 +186,35 @@ type FaultConfig struct {
 	// hook for proving that one job's death cannot take down a sweep.
 	InjectPanic bool
 	PanicEpoch  int
+
+	// The fields below are fleet-scope faults: they only fire on nodes
+	// of a fleet run (RunFleet), where the self-healing supervisor can
+	// recover them, and are ignored by single runs.
+
+	// NodeCrashRate is the per-epoch probability a node crashes
+	// mid-window. With a FleetRecoveryConfig armed the node restarts
+	// from its last periodic snapshot and replays; without one the
+	// crash loses the node.
+	NodeCrashRate float64
+
+	// StragglerRate stalls a node in host wall-clock time by
+	// StragglerDelay (default 20ms) — simulated state is untouched.
+	// With a recovery StepTimeoutMS armed, a stalled attempt is caught
+	// by the watchdog and recovered exactly like a crash.
+	StragglerRate  float64
+	StragglerDelay time.Duration
+
+	// CheckpointCorruptRate flips a bit in a periodic snapshot as it is
+	// written; the corruption is caught by the container CRC at restore
+	// time and the restart falls back to a from-scratch replay.
+	CheckpointCorruptRate float64
+
+	// NodeLossRate opens coordinator-visible loss windows spanning
+	// NodeLossEpochs epochs (default 3): the node keeps simulating but
+	// the coordinator sees it as lost, freezes its cap, re-water-fills
+	// the freed budget across survivors, and re-admits it on rejoin.
+	NodeLossRate   float64
+	NodeLossEpochs int
 }
 
 // internal maps the public fault configuration onto the fault plane's
@@ -183,6 +238,13 @@ func (fc *FaultConfig) internal() *faults.Config {
 		MaxRunRetries:       fc.MaxRunRetries,
 		PanicEnabled:        fc.InjectPanic,
 		PanicEpoch:          fc.PanicEpoch,
+
+		NodeCrashRate:         fc.NodeCrashRate,
+		StragglerRate:         fc.StragglerRate,
+		StragglerDelay:        fc.StragglerDelay,
+		CheckpointCorruptRate: fc.CheckpointCorruptRate,
+		NodeLossRate:          fc.NodeLossRate,
+		NodeLossEpochs:        fc.NodeLossEpochs,
 	}
 }
 
@@ -265,6 +327,10 @@ func (fc *FaultConfig) validate(prefix string) error {
 		{"corrupt_rate", fc.CounterCorruptRate},
 		{"thermal_rate", fc.ThermalRate},
 		{"abort_rate", fc.TransientAbortRate},
+		{"node_crash_rate", fc.NodeCrashRate},
+		{"straggler_rate", fc.StragglerRate},
+		{"checkpoint_corrupt_rate", fc.CheckpointCorruptRate},
+		{"node_loss_rate", fc.NodeLossRate},
 	} {
 		if math.IsNaN(f.v) || f.v < 0 || f.v > 1 {
 			return fmt.Errorf("%w: %s.%s: rate must be in [0, 1], got %g",
@@ -279,6 +345,7 @@ func (fc *FaultConfig) validate(prefix string) error {
 		{"relock_max_retries", fc.RelockMaxRetries},
 		{"thermal_window_epochs", fc.ThermalWindowEpochs},
 		{"max_run_retries", fc.MaxRunRetries},
+		{"node_loss_epochs", fc.NodeLossEpochs},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("%w: %s.%s: must be >= 0 (0 selects the default), got %d",
@@ -288,6 +355,10 @@ func (fc *FaultConfig) validate(prefix string) error {
 	if fc.RelockBackoff < 0 {
 		return fmt.Errorf("%w: %s.relock_backoff: must be >= 0, got %v",
 			ErrInvalidConfig, prefix, fc.RelockBackoff)
+	}
+	if fc.StragglerDelay < 0 {
+		return fmt.Errorf("%w: %s.straggler_delay: must be >= 0 (0 selects the default 20ms), got %v",
+			ErrInvalidConfig, prefix, fc.StragglerDelay)
 	}
 	if c := fc.ThermalCeilingMHz; c != 0 && !config.ValidBusFrequency(config.FreqMHz(c)) {
 		return fmt.Errorf("%w: %s.thermal_ceiling_mhz: %d MHz is not on the DDR3 ladder %v",
@@ -402,6 +473,12 @@ type RunSummary struct {
 	// Events is the number of simulation events the managed run fired —
 	// the unit benchmarks normalize throughput against (events/op).
 	Events uint64
+
+	// InvariantChecks counts the runtime invariant plane's always-on
+	// assertions the managed run passed (energy conservation, residency
+	// accounting, slack ledger bounds); a violated invariant fails the
+	// run with an error matching ErrInvariant instead.
+	InvariantChecks uint64
 }
 
 // Mixes returns the Table 1 workload names.
@@ -472,6 +549,7 @@ func summarize(out runner.Outcome) RunSummary {
 	sum.DegradedEpochs = res.Faults.DegradedEpochs
 	sum.Attempts = out.Attempts
 	sum.Events = res.Events
+	sum.InvariantChecks = res.InvariantChecks
 	return sum
 }
 

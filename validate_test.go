@@ -47,6 +47,18 @@ func TestRunConfigValidateFieldPaths(t *testing.T) {
 			RunConfig{Faults: &FaultConfig{MaxRunRetries: -1}}, "faults.max_run_retries"},
 		{"negative panic epoch",
 			RunConfig{Faults: &FaultConfig{InjectPanic: true, PanicEpoch: -1}}, "faults.panic_epoch"},
+		{"node crash rate over one",
+			RunConfig{Faults: &FaultConfig{NodeCrashRate: 1.5}}, "faults.node_crash_rate"},
+		{"negative straggler rate",
+			RunConfig{Faults: &FaultConfig{StragglerRate: -0.1}}, "faults.straggler_rate"},
+		{"negative straggler delay",
+			RunConfig{Faults: &FaultConfig{StragglerDelay: -time.Millisecond}}, "faults.straggler_delay"},
+		{"checkpoint corrupt rate over one",
+			RunConfig{Faults: &FaultConfig{CheckpointCorruptRate: 2}}, "faults.checkpoint_corrupt_rate"},
+		{"node loss rate over one",
+			RunConfig{Faults: &FaultConfig{NodeLossRate: 1.01}}, "faults.node_loss_rate"},
+		{"negative node loss epochs",
+			RunConfig{Faults: &FaultConfig{NodeLossEpochs: -1}}, "faults.node_loss_epochs"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -174,6 +186,27 @@ func TestFleetConfigValidateFieldPaths(t *testing.T) {
 		{"bad fault rate",
 			FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "MID1",
 				Faults: &FaultConfig{ThermalRate: 9}}}}, "groups[0].faults.thermal_rate"},
+		{"bad crash rate",
+			FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "MID1",
+				Faults: &FaultConfig{NodeCrashRate: -1}}}}, "groups[0].faults.node_crash_rate"},
+		{"fleet recovery negative retries",
+			FleetConfig{Groups: []NodeGroup{okGroup},
+				Recovery: &FleetRecoveryConfig{MaxRetries: -1}}, "recovery.max_retries"},
+		{"fleet recovery negative cadence",
+			FleetConfig{Groups: []NodeGroup{okGroup},
+				Recovery: &FleetRecoveryConfig{CheckpointEvery: -2}}, "recovery.checkpoint_every"},
+		{"fleet recovery negative watchdog",
+			FleetConfig{Groups: []NodeGroup{okGroup},
+				Recovery: &FleetRecoveryConfig{StepTimeout: -time.Second}}, "recovery.step_timeout"},
+		{"fleet recovery negative backoff",
+			FleetConfig{Groups: []NodeGroup{okGroup},
+				Recovery: &FleetRecoveryConfig{Backoff: -time.Millisecond}}, "recovery.backoff"},
+		{"group recovery override bad retries",
+			FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "MID1",
+				Recovery: &FleetRecoveryConfig{MaxRetries: -3}}}}, "groups[0].recovery.max_retries"},
+		{"group recovery override bad watchdog",
+			FleetConfig{Groups: []NodeGroup{okGroup, {Nodes: 1, Mix: "MID1",
+				Recovery: &FleetRecoveryConfig{StepTimeout: -1}}}}, "groups[1].recovery.step_timeout"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

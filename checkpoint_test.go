@@ -138,6 +138,42 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	sameBits(t, "extended run", cold, resumed)
 
+	t.Run("cross-shard restore", func(t *testing.T) {
+		// The shard count is an execution strategy, not checkpointed
+		// state: a container written under the 4-shard engine restores
+		// serially (and vice versa) bit-identically to the cold serial
+		// run, because Save merges the shard queues into the canonical
+		// serial order and Load re-partitions it.
+		prc := RunConfig{Mix: "MEM1", Policy: "MemScale", Epochs: 2, Cores: 4, Partitioned: true}
+		long := prc
+		long.Epochs = 4
+		cold, err := RunContext(ctx, long)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sharded := prc
+		sharded.Shards = 4
+		var b4 bytes.Buffer
+		if _, err := CheckpointRun(ctx, sharded, 0, &b4); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ResumeRun(ctx, bytes.NewReader(b4.Bytes()), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBits(t, "shards=4 container restored serially", cold, res)
+
+		var b0 bytes.Buffer
+		if _, err := CheckpointRun(ctx, prc, 0, &b0); err != nil {
+			t.Fatal(err)
+		}
+		res4, err := ResumeRunShards(ctx, bytes.NewReader(b0.Bytes()), 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBits(t, "serial container restored at 4 shards", cold, res4)
+	})
 	t.Run("epochs not beyond snapshot", func(t *testing.T) {
 		_, err := ResumeRun(ctx, bytes.NewReader(buf.Bytes()), 2)
 		if !errors.Is(err, ErrInvalidConfig) || !strings.Contains(err.Error(), "resume.epochs") {

@@ -27,6 +27,8 @@
 // -max-allocs 'BenchmarkSingleRun=10000',
 // -max-events 'BenchmarkSingleRun=4500000', and
 // -min-metrics 'BenchmarkForkedSweep=warm-speedup-x:1.8'.
+// -min-speedup-x 'BenchmarkSingleRunParallel=1.4' is shorthand for a
+// floor on the "speedup-x" metric the parallel-engine benchmarks emit.
 package main
 
 import (
@@ -39,11 +41,16 @@ import (
 	"strings"
 )
 
-// bench4Baseline records BenchmarkSingleRun from results/BENCH_4.json —
-// the zero-allocation event-core tree this PR's coalescing fast paths
-// started from. The report's speedup and event-reduction ratios are
-// computed against it.
-var bench4Baseline = map[string]result{
+// recordedBaselines are the per-benchmark reference points from earlier
+// PRs' reports; the report's speedup and event-reduction ratios are
+// computed against them. BenchmarkSingleRun is measured against
+// results/BENCH_4.json — the zero-allocation event core the coalescing
+// fast paths started from. BenchmarkSingleRunParallel carries no
+// recorded baseline: its op times the serial coalesced engine (the
+// BENCH_5 state of the code) and the channel-sharded engine on
+// identical work in-process, and reports the ratio as speedup-x — a
+// live serial-vs-parallel comparison instead of a stale recorded one.
+var recordedBaselines = map[string]result{
 	"BenchmarkSingleRun": {
 		NsPerOp:     2487728979,
 		AllocsPerOp: 1167,
@@ -82,6 +89,12 @@ var defaultEventBudgets = map[string]float64{
 // while catching any loss of prefix sharing.
 var defaultMinMetrics = map[string]map[string]float64{
 	"BenchmarkForkedSweep": {"warm-speedup-x": 1.8},
+	// The channel-sharded event engine must actually pay for its
+	// complexity: 1.4x over the serial engine at 4 shards (the ideal is
+	// 4x; window-edge synchronization and cross-shard storms eat part of
+	// it). The benchmark only emits speedup-x on multi-CPU hosts, so
+	// single-core runs cannot trip the floor.
+	"BenchmarkSingleRunParallel": {"speedup-x": 1.4},
 }
 
 type result struct {
@@ -179,6 +192,30 @@ func parseEventBudgets(spec string, into map[string]float64) error {
 	return nil
 }
 
+// parseMinSpeedup decodes 'Name=floor,Name=floor' specs into floors on
+// the "speedup-x" metric — sugar over parseMinMetrics for the common
+// case of guarding a parallel engine's wall-clock win.
+func parseMinSpeedup(spec string, into map[string]map[string]float64) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			return fmt.Errorf("min speedup %q is not Name=floor", part)
+		}
+		n, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("min speedup %q: %v", part, err)
+		}
+		if into[name] == nil {
+			into[name] = map[string]float64{}
+		}
+		into[name]["speedup-x"] = n
+	}
+	return nil
+}
+
 // parseMinMetrics decodes 'Name=metric:floor,Name=metric:floor'
 // specs into the floor table.
 func parseMinMetrics(spec string, into map[string]map[string]float64) error {
@@ -214,6 +251,8 @@ func main() {
 		"extra events/op budgets as 'Name=N,Name=N' (override or extend the defaults)")
 	minSpec := flag.String("min-metrics", "",
 		"extra custom-metric floors as 'Name=metric:floor,...' (override or extend the defaults)")
+	speedupSpec := flag.String("min-speedup-x", "",
+		"speedup-x floors as 'Name=floor,Name=floor' (shorthand for -min-metrics 'Name=speedup-x:floor')")
 	flag.Parse()
 
 	budgets := make(map[string]int64, len(defaultBudgets))
@@ -243,10 +282,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memscale-benchguard:", err)
 		os.Exit(2)
 	}
+	if err := parseMinSpeedup(*speedupSpec, minMetrics); err != nil {
+		fmt.Fprintln(os.Stderr, "memscale-benchguard:", err)
+		os.Exit(2)
+	}
 
 	rep := report{
 		Benchmarks:   map[string]result{},
-		Baseline:     bench4Baseline,
+		Baseline:     recordedBaselines,
 		Budgets:      budgets,
 		EventBudgets: eventBudgets,
 		MinMetrics:   minMetrics,
@@ -262,7 +305,7 @@ func main() {
 			continue
 		}
 		rep.Benchmarks[name] = r
-		if base, have := bench4Baseline[name]; have && r.NsPerOp > 0 {
+		if base, have := recordedBaselines[name]; have && r.NsPerOp > 0 {
 			rep.Improve[name] = base.NsPerOp / r.NsPerOp
 			if be, ne := base.Metrics["events/op"], r.Metrics["events/op"]; be > 0 && ne > 0 {
 				rep.EventsRatio[name] = be / ne

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	memscale-sim -mix MID1 [-policy MemScale] [-epochs 10]
-//	             [-gamma 0.10] [-cores 16] [-channels 4] [-timeline]
+//	             [-gamma 0.10] [-cores 16] [-channels 4] [-shards 1]
+//	             [-partitioned] [-timeline]
 //	             [-checkpoint-out run.ckpt [-checkpoint-epoch K]]
 //	             [-restore run.ckpt]
 //	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -17,6 +18,12 @@
 // The -fault-* flags enable the deterministic fault-injection plane;
 // the same seed and rates reproduce the same disturbance schedule,
 // fault counts, and energy totals.
+//
+// -shards N runs the managed system on the channel-sharded parallel
+// event engine (results are bit-identical to the serial engine; the
+// engine engages when the workload is channel-partitioned, e.g. a
+// "/part" mix or -partitioned). -partitioned confines each application
+// of the mix to its own memory channel (OS page placement).
 //
 // -checkpoint-out captures the run's full simulation state to a
 // container file (at the final epoch by default, or after
@@ -67,6 +74,8 @@ func main() {
 	gamma := flag.Float64("gamma", 0.10, "maximum allowed performance degradation")
 	cores := flag.Int("cores", 0, "core count override (default 16)")
 	channels := flag.Int("channels", 0, "channel count override (default 4)")
+	shards := flag.Int("shards", 1, "event-engine shards (1 = serial; >1 engages the parallel engine on channel-partitioned workloads)")
+	partitioned := flag.Bool("partitioned", false, "confine each application of the mix to its own memory channel")
 	timeline := flag.Bool("timeline", false, "print the per-epoch frequency/CPI timeline")
 	checkpointOut := flag.String("checkpoint-out", "",
 		"write the run's full simulation state to this container file (resume it with -restore)")
@@ -158,13 +167,15 @@ func main() {
 	}
 
 	rc := memscale.RunConfig{
-		Mix:      *mix,
-		Policy:   *policy,
-		Epochs:   *epochs,
-		Gamma:    *gamma,
-		Cores:    *cores,
-		Channels: *channels,
-		Timeline: *timeline,
+		Mix:         *mix,
+		Policy:      *policy,
+		Epochs:      *epochs,
+		Gamma:       *gamma,
+		Cores:       *cores,
+		Channels:    *channels,
+		Shards:      *shards,
+		Partitioned: *partitioned,
+		Timeline:    *timeline,
 	}
 	if *telemetryOut != "" {
 		rc.Telemetry = &memscale.TelemetryConfig{Events: true}
@@ -188,7 +199,7 @@ func main() {
 		if f, err = os.Open(*restore); err != nil {
 			fatal(err)
 		}
-		sum, err = memscale.ResumeRun(ctx, f, *epochs)
+		sum, err = memscale.ResumeRunShards(ctx, f, *epochs, *shards)
 		f.Close()
 		if err == nil {
 			fmt.Printf("resumed from %s\n", *restore)
@@ -230,8 +241,24 @@ func main() {
 	}
 
 	fmt.Println(sum)
-	fmt.Printf("simulated %.0f ms; memory energy %.3f J; system energy %.3f J\n",
-		sum.DurationSeconds*1000, sum.MemoryEnergyJ, sum.SystemEnergyJ)
+	// The engine line reflects what actually ran: sharding engages only
+	// on channel-partitioned workloads without a telemetry recorder
+	// (results are bit-identical either way, so the summary itself
+	// cannot tell). A restored container's workload shape is unknown
+	// here, so that case reports the requested ceiling.
+	engine := "serial"
+	if *shards > 1 {
+		switch {
+		case *telemetryOut != "":
+			// telemetry needs a global event order: serial engine
+		case *restore != "":
+			engine = fmt.Sprintf("up to %d shards", *shards)
+		case *partitioned || strings.HasSuffix(*mix, memscale.PartitionedSuffix):
+			engine = fmt.Sprintf("%d shards", *shards)
+		}
+	}
+	fmt.Printf("simulated %.0f ms; memory energy %.3f J; system energy %.3f J; event engine: %s\n",
+		sum.DurationSeconds*1000, sum.MemoryEnergyJ, sum.SystemEnergyJ, engine)
 
 	if rc.Faults != nil {
 		fmt.Printf("fault injection: %d degraded epochs, %d attempts\n",

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"memscale/internal/config"
 	"memscale/internal/fleet"
 	"memscale/internal/policies"
 	"memscale/internal/workload"
@@ -91,6 +92,12 @@ type NodeGroup struct {
 	Gamma    float64
 	Cores    int
 	Channels int
+
+	// Shards selects the channel-sharded parallel event engine for the
+	// group's managed nodes, exactly like RunConfig.Shards (0 or 1 runs
+	// the serial engine; results are bit-identical either way). Must not
+	// exceed the group's channel count. Baselines always run serially.
+	Shards int
 
 	// Arrival is the group's open-loop arrival process. The zero value
 	// offers a steady nominal load.
@@ -255,6 +262,18 @@ func (fc FleetConfig) Validate() error {
 		case g.Channels < 0:
 			return fmt.Errorf("%w: groups[%d].channels: must be >= 0, got %d",
 				ErrInvalidConfig, gi, g.Channels)
+		case g.Shards < 0:
+			return fmt.Errorf("%w: groups[%d].shards: must be >= 0 (0 selects the serial engine), got %d",
+				ErrInvalidConfig, gi, g.Shards)
+		}
+		if ch := g.Channels; g.Shards > 1 {
+			if ch == 0 {
+				ch = config.Default().Channels
+			}
+			if g.Shards > ch {
+				return fmt.Errorf("%w: groups[%d].shards: must not exceed the channel count %d, got %d",
+					ErrInvalidConfig, gi, ch, g.Shards)
+			}
 		}
 		if err := g.Arrival.Validate(); err != nil {
 			return fmt.Errorf("%w: groups[%d].arrival: %v", ErrInvalidConfig, gi, err)
@@ -301,6 +320,7 @@ func (fc FleetConfig) internal() (fleet.Config, error) {
 			Name: name, Nodes: g.Nodes,
 			Mix: mix, Spec: spec,
 			Gamma: g.Gamma, Cores: g.Cores, Channels: g.Channels,
+			Shards:   g.Shards,
 			Arrival:  g.Arrival,
 			Faults:   g.Faults.internal(),
 			Recovery: g.Recovery.internal(),

@@ -110,6 +110,23 @@ type Queue struct {
 	scheduled uint64
 	coalesced uint64
 	firing    uint64 // seq of the event currently (or most recently) firing
+
+	// stride is the sequence-number increment. Zero behaves as 1 (the
+	// serial queue); a shard of a ShardSet uses the shard count so the
+	// member queues allocate from disjoint residue classes of one global
+	// counter and their merged (time, seq) order is well defined.
+	stride uint64
+}
+
+// bump advances the sequence counter by one allocation step and
+// returns the new value.
+func (q *Queue) bump() uint64 {
+	s := q.stride
+	if s == 0 {
+		s = 1
+	}
+	q.seq += s
+	return q.seq
 }
 
 // Now returns the current simulated time.
@@ -167,14 +184,14 @@ func (q *Queue) add(at config.Time, fn Handler, bfn Bound, env any, a, b int32) 
 	if at < q.now {
 		panic(fmt.Sprintf("event: scheduling at %v before now %v", at, q.now))
 	}
-	q.seq++
+	seq := q.bump()
 	q.scheduled++
 	idx := q.alloc()
 	n := &q.nodes[idx]
 	n.fn, n.bfn, n.env, n.a, n.b = fn, bfn, env, a, b
 	n.pos = 0
 	h := Handle{idx: idx, gen: n.gen}
-	q.heapPush(entry{at: at, seq: q.seq, idx: idx})
+	q.heapPush(entry{at: at, seq: seq, idx: idx})
 	return h
 }
 
@@ -209,8 +226,7 @@ type Seq uint64
 
 // ReserveSeq consumes and returns the next schedule-order ticket.
 func (q *Queue) ReserveSeq() Seq {
-	q.seq++
-	return Seq(q.seq)
+	return Seq(q.bump())
 }
 
 // FiringSeq returns the sequence number of the event currently (or
@@ -266,9 +282,9 @@ func (q *Queue) ScheduleVia(activateAt, fireAt config.Time, fn Bound, env any, a
 	if fireAt < activateAt {
 		panic(fmt.Sprintf("event: deferred fire at %v before activation %v", fireAt, activateAt))
 	}
-	q.seq++
+	seq := q.bump()
 	q.coalesced++
-	q.deferPush(deferred{activateAt: activateAt, seq: q.seq, fireAt: fireAt, bfn: fn, env: env, a: a, b: b})
+	q.deferPush(deferred{activateAt: activateAt, seq: seq, fireAt: fireAt, bfn: fn, env: env, a: a, b: b})
 }
 
 // ScheduleViaSeq is ScheduleVia with the activation position supplied
@@ -312,13 +328,13 @@ func (q *Queue) CancelDeferred(seq Seq) bool {
 // processing order.
 func (q *Queue) materializeDeferred() {
 	d := q.deferPop()
-	q.seq++
+	seq := q.bump()
 	q.scheduled++
 	idx := q.alloc()
 	n := &q.nodes[idx]
 	n.fn, n.bfn, n.env, n.a, n.b = nil, d.bfn, d.env, d.a, d.b
 	n.pos = 0
-	q.heapPush(entry{at: d.fireAt, seq: q.seq, idx: idx})
+	q.heapPush(entry{at: d.fireAt, seq: seq, idx: idx})
 }
 
 // settleDeferred materializes every deferred schedule whose activation
@@ -439,6 +455,34 @@ func (q *Queue) RunUntil(deadline config.Time) {
 		break
 	}
 	q.now = deadline
+}
+
+// RunUntilExclusive executes events strictly preceding the position
+// (t, bound) in global (time, seq) order: every pending event or
+// deferred activation with at < t, or at == t and seq < bound, fires;
+// everything at or after the position stays queued. The clock then
+// advances to exactly t. A ShardSet uses this to drain each shard up
+// to — but not past — a cross-shard event's reserved position before
+// executing the cross-shard callback serially.
+func (q *Queue) RunUntilExclusive(t config.Time, bound Seq) {
+	if t < q.now {
+		panic(fmt.Sprintf("event: RunUntilExclusive(%v) before now %v", t, q.now))
+	}
+	before := func(at config.Time, seq uint64) bool {
+		return at < t || (at == t && seq < uint64(bound))
+	}
+	for {
+		if len(q.heap) > 0 && before(q.heap[0].at, q.heap[0].seq) {
+			q.Step()
+			continue
+		}
+		if len(q.defers) > 0 && before(q.defers[0].activateAt, q.defers[0].seq) {
+			q.materializeDeferred()
+			continue
+		}
+		break
+	}
+	q.now = t
 }
 
 // Run executes events until the queue is empty or limit events have

@@ -32,6 +32,11 @@ type GroupSpec struct {
 	Gamma           float64
 	Cores, Channels int
 
+	// Shards selects the channel-sharded event engine for every managed
+	// node of the group (0 or 1 = serial). Results are bit-identical to
+	// the serial engine; baselines always run serially.
+	Shards int
+
 	Arrival ArrivalSpec
 
 	// Faults, when non-nil, injects the disturbance plane into every
@@ -497,6 +502,7 @@ func buildNodes(c Config) ([]*node, error) {
 				faultsCfg: g.Faults,
 				recovery:  recEff,
 				seed:      c.Seed,
+				shards:    g.Shards,
 			}
 			n.schedule = arr.schedule(c.Seed, n.global, c.Epochs, epochSec)
 			nodes = append(nodes, n)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"memscale/internal/checkpoint"
@@ -38,6 +39,7 @@ type node struct {
 	faultsCfg *faults.Config
 	recovery  *RecoverySpec // effective (defaulted) supervisor spec; nil disables recovery
 	seed      uint64
+	shards    int // event-engine shards for the managed run (0/1 = serial)
 
 	// schedule is the precomputed per-epoch intensity profile both the
 	// baseline and the managed run replay.
@@ -94,15 +96,24 @@ type capChange struct {
 // stable global index.
 func (n *node) streamsFor(cfg *config.Config) ([]*trace.Stream, error) {
 	mapper := config.NewAddressMapper(cfg)
+	// Seed from the base mix name so a mix and its Partition() variant
+	// draw identical traces on every node — placement, not content, is
+	// what a partitioned group changes.
+	base := strings.TrimSuffix(n.mix.Name, workload.PartitionedSuffix)
 	streams := make([]*trace.Stream, cfg.Cores)
 	for core := 0; core < cfg.Cores; core++ {
-		name := n.mix.Assignment(core)
+		appIdx := core % len(n.mix.Apps)
+		name := n.mix.Apps[appIdx]
 		p, err := workload.App(name)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: node %d: %w", n.global, err)
 		}
-		s, err := trace.NewStream(p, mapper,
-			trace.Seed("fleet", int(n.seed), n.global, n.mix.Name, name, core))
+		var channels []int
+		if n.mix.Partitioned {
+			channels = []int{appIdx % cfg.Channels}
+		}
+		s, err := trace.NewStreamOnChannels(p, mapper,
+			trace.Seed("fleet", int(n.seed), n.global, base, name, core), channels)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: node %d core %d: %w", n.global, core, err)
 		}
@@ -213,6 +224,7 @@ func (n *node) buildSystem(st *sim.SystemState) error {
 		NonMemPower: n.nonMem,
 		Faults:      inj,
 		MaxDuration: n.horizon(cfg),
+		Shards:      n.shards,
 	}
 	var s *sim.System
 	if st == nil {

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"memscale/internal/faults"
+	"memscale/internal/policies"
 	"memscale/internal/telemetry"
+	"memscale/internal/workload"
 )
 
 // chaosConfig is testConfig armed with the self-healing plane: every
@@ -103,6 +105,63 @@ func TestChaosRecoveryTransparent(t *testing.T) {
 	}
 	if got.InvariantChecks == 0 || ref.InvariantChecks == 0 {
 		t.Error("invariant plane recorded no checks")
+	}
+	sameSurvivorMetrics(t, ref, got)
+}
+
+// shardedChaosConfig is a channel-partitioned fleet eligible for the
+// 4-shard parallel event engine: one group of MEM1/part nodes with one
+// application per memory channel.
+func shardedChaosConfig(t *testing.T, shards int, fc faults.Config, rec *RecoverySpec) Config {
+	t.Helper()
+	mem, err := workload.ByName("MEM1" + workload.PartitionedSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := policies.ByName("MemScale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fc
+	return Config{
+		Groups: []GroupSpec{
+			{Name: "mem", Nodes: 3, Mix: mem, Spec: spec, Cores: 4, Channels: 4,
+				Shards:  shards,
+				Arrival: ArrivalSpec{Kind: ArrivalPoisson, UsersPerNode: 200, RequestsPerUserHz: 10},
+				Faults:  &f},
+		},
+		Epochs:   4,
+		BudgetW:  40,
+		Seed:     7,
+		Recovery: rec,
+	}
+}
+
+// TestChaosShardedRecovery runs the recovery plane on top of the
+// 4-shard parallel event engine: nodes crash mid-window, restore from
+// checkpoints written by the sharded engine, and replay on it — and the
+// survivor metrics must still be Float64bits-identical to the serial
+// undisturbed same-seed run. This composes the two transparency
+// contracts (shard identity and recovery identity) in one pass.
+func TestChaosShardedRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node fleet run")
+	}
+	ref, err := Run(context.Background(), shardedChaosConfig(t, 0, faults.Config{Seed: 11}, nil))
+	if err != nil {
+		t.Fatalf("serial reference run: %v", err)
+	}
+	got, err := Run(context.Background(), shardedChaosConfig(t, 4,
+		faults.Config{Seed: 11, NodeCrashRate: 0.35},
+		&RecoverySpec{MaxRetries: 12, CheckpointEvery: 2, Backoff: time.Microsecond}))
+	if err != nil {
+		t.Fatalf("sharded chaos run: %v", err)
+	}
+	if got.Recoveries == 0 {
+		t.Fatal("sharded chaos run performed no recoveries; the test exercised nothing")
+	}
+	if got.DeadNodes != 0 {
+		t.Fatalf("sharded chaos run lost %d nodes with a generous retry budget", got.DeadNodes)
 	}
 	sameSurvivorMetrics(t, ref, got)
 }

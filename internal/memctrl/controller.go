@@ -109,12 +109,27 @@ type Controller struct {
 	q      *event.Queue
 	mapper *config.AddressMapper
 
+	// qs[chIdx] is the event queue that owns channel chIdx. Serially
+	// every entry aliases q; under the sharded engine each channel
+	// schedules on its shard's queue, so all controller event traffic —
+	// per-channel by construction — stays shard-local.
+	qs       []*event.Queue
+	parallel bool
+
 	channels []*channel
 	ranks    [][]*dram.Rank // [channel][rank]
 
 	// MC clock: double the fastest channel's bus frequency.
 	mcBusFreq config.FreqMHz
 	mcTime    config.Time
+
+	// mcTimes[chIdx] replicates mcTime per channel for the sharded
+	// engine: a relock completing inside a window may not scan the
+	// other channels' operating points (their shards own them), so each
+	// shard refreshes its own copy. The engine only runs under the
+	// uniform governor, where every channel's frequency — and hence
+	// every copy — is the global value.
+	mcTimes []config.Time
 
 	ranksPerCh int // cached cfg.RanksPerChannel(), for the defGate index
 
@@ -149,10 +164,11 @@ type Controller struct {
 	// fast path of DESIGN.md §4g. Zero disables every fast path.
 	quiesce config.Time
 
-	// reqFree recycles Request objects: every transaction that clears
-	// the bus returns its Request here, so the steady state allocates
-	// none.
-	reqFree []*Request
+	// reqFree recycles Request objects per channel: every transaction
+	// that clears the bus returns its Request to its channel's pool, so
+	// the steady state allocates none and concurrent shards never share
+	// a pool.
+	reqFree [][]*Request
 
 	// Pre-bound event callbacks, created once so the hot path schedules
 	// without capturing a closure (see event.Bound).
@@ -178,6 +194,15 @@ func New(cfg *config.Config, q *event.Queue) *Controller {
 		mcBusFreq: config.MaxBusFreq,
 	}
 	c.mcTime = cfg.Timing.MCTime(config.MaxBusFreq)
+	c.mcTimes = make([]config.Time, cfg.Channels)
+	for i := range c.mcTimes {
+		c.mcTimes[i] = c.mcTime
+	}
+	c.qs = make([]*event.Queue, cfg.Channels)
+	for i := range c.qs {
+		c.qs[i] = q
+	}
+	c.reqFree = make([][]*Request, cfg.Channels)
 	c.ranksPerCh = cfg.RanksPerChannel()
 	c.onStartBank = c.startBankServiceEvent
 	c.onBusReady = c.busReadyEvent
@@ -244,13 +269,14 @@ func (c *Controller) Start() {
 	n := config.Time(c.cfg.TotalRanks())
 	i := config.Time(0)
 	for ch := range c.ranks {
+		q := c.qs[ch]
 		for r := range c.ranks[ch] {
-			first := c.q.Now() + interval*(i+1)/n
+			first := q.Now() + interval*(i+1)/n
 			i++
-			c.q.ScheduleBound(first, c.onRefreshTick, nil, int32(ch), int32(r))
+			q.ScheduleBound(first, c.onRefreshTick, nil, int32(ch), int32(r))
 			// Ranks that never see traffic still power down under the
 			// powerdown policies.
-			c.maybePowerdown(c.q.Now(), ch, r)
+			c.maybePowerdown(q.Now(), ch, r)
 		}
 	}
 }
@@ -282,29 +308,83 @@ func (c *Controller) SetTelemetry(tel *telemetry.Recorder) { c.tel = tel }
 // on the fully event-driven path.
 func (c *Controller) SetQuiesceHorizon(t config.Time) { c.quiesce = t }
 
-// Counters returns a snapshot of the performance counters.
-func (c *Controller) Counters() Counters { return c.counters.Clone() }
+// SetShardQueues hands each channel to the event queue of its owning
+// shard: qs[chIdx] receives all of channel chIdx's event traffic. The
+// caller (the sharded engine) guarantees the channels of one queue are
+// advanced by one goroutine at a time and that the controller runs
+// under the uniform governor.
+func (c *Controller) SetShardQueues(qs []*event.Queue) {
+	if len(qs) != len(c.channels) {
+		panic(fmt.Sprintf("memctrl: %d shard queues for %d channels", len(qs), len(c.channels)))
+	}
+	copy(c.qs, qs)
+	c.parallel = true
+}
+
+// mcTimeAt returns the MC pipeline time as seen by a channel: the
+// shared clock serially, the shard-local replica under the sharded
+// engine.
+func (c *Controller) mcTimeAt(chIdx int) config.Time {
+	if c.parallel {
+		return c.mcTimes[chIdx]
+	}
+	return c.mcTime
+}
+
+// Counters returns a snapshot of the performance counters. The hot
+// paths accumulate only the per-channel replicas (shard-local under
+// the sharded engine); the aggregate set is derived here by summation,
+// which is exact — integer sums are order-independent — so serial and
+// sharded runs read identical values.
+func (c *Controller) Counters() Counters {
+	out := Counters{
+		TLM:        make([]uint64, len(c.counters.TLM)),
+		PerChannel: make([]ChannelCounters, len(c.counters.PerChannel)),
+	}
+	for i := range c.counters.PerChannel {
+		pc := &c.counters.PerChannel[i]
+		out.PerChannel[i] = pc.clone()
+		out.BTO += pc.BTO
+		out.BTC += pc.BTC
+		out.CTO += pc.CTO
+		out.CTC += pc.CTC
+		out.RBHC += pc.RBHC
+		out.OBMC += pc.OBMC
+		out.CBMC += pc.CBMC
+		out.EPDC += pc.EPDC
+		out.POCC += pc.POCC
+		out.Reads += pc.Reads
+		out.Writebacks += pc.Writebacks
+		for core, v := range pc.TLM {
+			out.TLM[core] += v
+		}
+	}
+	return out
+}
 
 // Timing returns the resolved timing of channel 0 (the system timing
 // under uniform scaling).
 func (c *Controller) Timing() dram.Resolved { return c.channels[0].timing }
 
-// getRequest takes a recycled Request from the pool, or allocates one
-// while the pool warms up.
-func (c *Controller) getRequest() *Request {
-	if n := len(c.reqFree); n > 0 {
-		req := c.reqFree[n-1]
-		c.reqFree = c.reqFree[:n-1]
+// getRequest takes a recycled Request from a channel's pool, or
+// allocates one while the pool warms up.
+func (c *Controller) getRequest(chIdx int) *Request {
+	pool := c.reqFree[chIdx]
+	if n := len(pool); n > 0 {
+		req := pool[n-1]
+		c.reqFree[chIdx] = pool[:n-1]
 		return req
 	}
 	return &Request{}
 }
 
-// putRequest recycles a completed Request. The struct is zeroed so the
-// pool retains no callback or location from the previous transaction.
+// putRequest recycles a completed Request into its channel's pool. The
+// struct is zeroed so the pool retains no callback or location from
+// the previous transaction.
 func (c *Controller) putRequest(req *Request) {
+	chIdx := req.Loc.Channel
 	*req = Request{}
-	c.reqFree = append(c.reqFree, req)
+	c.reqFree[chIdx] = append(c.reqFree[chIdx], req)
 }
 
 // Enqueue submits a memory transaction. Reads invoke done when their
@@ -315,7 +395,7 @@ func (c *Controller) Enqueue(now config.Time, line uint64, write bool, core int,
 	ch := c.channels[loc.Channel]
 	b := c.bankID(loc.Rank, loc.Bank)
 	if bk := &ch.banks[b]; bk.defDispatch &&
-		(write || (bk.prechAt == now && uint64(bk.prechSeq) > c.q.FiringSeq())) {
+		(write || (bk.prechAt == now && uint64(bk.prechSeq) > c.qs[loc.Channel].FiringSeq())) {
 		// Two ways an arrival can invalidate the bank's deferred
 		// dispatch: a competing writeback un-forces the choice, and an
 		// arrival at the close instant — ahead of the elided event's
@@ -324,25 +404,23 @@ func (c *Controller) Enqueue(now config.Time, line uint64, write bool, core int,
 		// way, put the decision back on a live event.
 		c.reviveDispatch(loc.Channel, b)
 	}
-	req := c.getRequest()
+	req := c.getRequest(loc.Channel)
 	*req = Request{Loc: loc, Write: write, Core: core, Done: done, Arrived: now}
 	pc := &c.counters.PerChannel[loc.Channel]
 
 	// Section 3.1 accumulators: outstanding work seen by the arrival.
-	c.counters.BTC++
-	c.counters.BTO += uint64(ch.outstanding[b])
-	c.counters.CTC++
+	// Only the per-channel replicas are written on the hot path — they
+	// are shard-local under the sharded engine — and the aggregate set
+	// is derived by summation when read (Counters).
+	pc.BTC++
+	pc.BTO += uint64(ch.outstanding[b])
+	pc.CTC++
 	busOut := ch.busQueue.Len()
 	if ch.busFreeAt > now {
 		busOut++
 	}
-	c.counters.CTO += uint64(busOut)
-	pc.BTC++
-	pc.BTO += uint64(ch.outstanding[b])
-	pc.CTC++
 	pc.CTO += uint64(busOut)
 	if !write {
-		c.counters.TLM[core]++
 		pc.TLM[core]++
 	}
 
@@ -411,7 +489,7 @@ func (c *Controller) tryDispatch(now config.Time, chIdx int, b bankID) {
 			if bk.queue.Len() > 0 && bk.wb.Len() == 0 {
 				bk.defDispatch = true
 				bk.defReq = bk.queue.Peek()
-				c.q.ScheduleViaSeq(bk.prechAt, bk.prechSeq, bk.prechAt+c.mcTime,
+				c.qs[chIdx].ScheduleViaSeq(bk.prechAt, bk.prechSeq, bk.prechAt+c.mcTimeAt(chIdx),
 					c.onStartBank, bk.defReq, int32(chIdx), int32(b))
 			} else {
 				c.materializePrecharge(bk, chIdx, rankIdx, b)
@@ -428,7 +506,7 @@ func (c *Controller) tryDispatch(now config.Time, chIdx int, b bankID) {
 	c.dispatched[chIdx][rankIdx]++
 	// The MC pipeline spends mcTime per request before the device
 	// sees it (five MC cycles, Section 3.3).
-	c.q.ScheduleBound(now+c.mcTime, c.onStartBank, req, int32(chIdx), int32(b))
+	c.qs[chIdx].ScheduleBound(now+c.mcTimeAt(chIdx), c.onStartBank, req, int32(chIdx), int32(b))
 }
 
 func (c *Controller) startBankServiceEvent(now config.Time, env any, a, b int32) {
@@ -440,7 +518,7 @@ func (c *Controller) startBankService(now config.Time, chIdx int, b bankID, req 
 	ch := c.channels[chIdx]
 	if ch.relocking {
 		// The relock began after dispatch; resume when it ends.
-		c.q.ScheduleBound(ch.relockUntil, c.onStartBank, req, int32(chIdx), int32(b))
+		c.qs[chIdx].ScheduleBound(ch.relockUntil, c.onStartBank, req, int32(chIdx), int32(b))
 		return
 	}
 	rankIdx := int(b) / c.cfg.BanksPerRank
@@ -451,20 +529,16 @@ func (c *Controller) startBankService(now config.Time, chIdx int, b bankID, req 
 	pc := &c.counters.PerChannel[chIdx]
 	switch kind {
 	case dram.RowHit:
-		c.counters.RBHC++
 		pc.RBHC++
 	case dram.ClosedMiss:
-		c.counters.CBMC++
 		pc.CBMC++
 	case dram.OpenMiss:
-		c.counters.OBMC++
 		pc.OBMC++
 	}
 	if kind != dram.RowHit {
-		c.counters.POCC++
+		pc.POCC++
 	}
 	if pdExit {
-		c.counters.EPDC++
 		pc.EPDC++
 		if c.tel != nil {
 			c.tel.PowerdownExit(now, chIdx, rankIdx)
@@ -478,7 +552,7 @@ func (c *Controller) startBankService(now config.Time, chIdx int, b bankID, req 
 		ready += extra
 	}
 	req.ready = ready
-	c.q.ScheduleBound(ready, c.onBusReady, req, int32(chIdx), 0)
+	c.qs[chIdx].ScheduleBound(ready, c.onBusReady, req, int32(chIdx), 0)
 }
 
 // busReadyEvent queues a bank-service-complete request for the channel
@@ -504,7 +578,7 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 		// unconditional grant event would have fired.
 		if !ch.grantArmed {
 			ch.grantArmed = true
-			c.q.ScheduleBoundSeq(ch.busFreeAt, ch.grantSeq, c.onGrantBus, nil, int32(chIdx), 0)
+			c.qs[chIdx].ScheduleBoundSeq(ch.busFreeAt, ch.grantSeq, c.onGrantBus, nil, int32(chIdx), 0)
 		}
 		return
 	}
@@ -543,10 +617,8 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 	c.pending[chIdx][rankIdx]--
 	pc := &c.counters.PerChannel[chIdx]
 	if req.Write {
-		c.counters.Writebacks++
 		pc.Writebacks++
 	} else {
-		c.counters.Reads++
 		pc.Reads++
 		if c.tel != nil {
 			c.tel.ObserveReadLatency(busEnd - req.Arrived)
@@ -554,7 +626,7 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 	}
 
 	if keepOpen {
-		c.q.ScheduleBound(busEnd, c.onBankKick, nil, int32(chIdx), int32(b))
+		c.qs[chIdx].ScheduleBound(busEnd, c.onBankKick, nil, int32(chIdx), int32(b))
 	} else if c.tel == nil && prechargeDone <= c.quiesce && ch.outstanding[b] == 0 {
 		// Deferred precharge close: the bank has no queued work, so the
 		// event's only effects would be the row close (a pure state
@@ -567,7 +639,7 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 		bk := &ch.banks[b]
 		bk.prechDeferred = true
 		bk.prechAt = prechargeDone
-		bk.prechSeq = c.q.ReserveSeq()
+		bk.prechSeq = c.qs[chIdx].ReserveSeq()
 		ch.defAts[b] = prechargeDone
 		ch.defSeqs[b] = uint64(bk.prechSeq)
 		c.deferAdded(chIdx, rankIdx, prechargeDone)
@@ -584,21 +656,21 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 		bk.prechDeferred = true
 		bk.defDispatch = true
 		bk.prechAt = prechargeDone
-		bk.prechSeq = c.q.ReserveSeq()
+		bk.prechSeq = c.qs[chIdx].ReserveSeq()
 		bk.defReq = bk.queue.Peek()
 		ch.defAts[b] = prechargeDone
 		ch.defSeqs[b] = uint64(bk.prechSeq)
 		c.deferAdded(chIdx, rankIdx, prechargeDone)
-		c.q.ScheduleViaSeq(prechargeDone, bk.prechSeq, prechargeDone+c.mcTime,
+		c.qs[chIdx].ScheduleViaSeq(prechargeDone, bk.prechSeq, prechargeDone+c.mcTimeAt(chIdx),
 			c.onStartBank, bk.defReq, int32(chIdx), int32(b))
 	} else {
-		c.q.ScheduleBound(prechargeDone, c.onPrecharge, nil, int32(chIdx), int32(b))
+		c.qs[chIdx].ScheduleBound(prechargeDone, c.onPrecharge, nil, int32(chIdx), int32(b))
 	}
 
 	if req.Done != nil && !req.Write && busEnd > c.quiesce {
 		// The completion event carries the Request itself so a
 		// checkpoint can name it; onDone recycles it after delivering.
-		c.q.ScheduleBound(busEnd, c.onDone, req, 0, 0)
+		c.qs[chIdx].ScheduleBound(busEnd, c.onDone, req, 0, 0)
 	} else {
 		if req.Done != nil && !req.Write {
 			// Closed-form completion: the transfer's end time is already
@@ -631,9 +703,9 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 	// formulation.
 	if ch.busQueue.Len() > 0 && !ch.grantArmed {
 		ch.grantArmed = true
-		c.q.ScheduleBound(busEnd, c.onGrantBus, nil, int32(chIdx), 0)
+		c.qs[chIdx].ScheduleBound(busEnd, c.onGrantBus, nil, int32(chIdx), 0)
 	} else {
-		ch.grantSeq = c.q.ReserveSeq()
+		ch.grantSeq = c.qs[chIdx].ReserveSeq()
 	}
 }
 
@@ -704,7 +776,7 @@ func (c *Controller) settleRankSlow(now config.Time, chIdx, rankIdx int, boundar
 			c.defGate[chIdx*c.ranksPerCh+rankIdx] = bk.prechAt // exact again
 			return // still in the future; revival on arrival handles it
 		}
-		if !boundary && bk.prechAt == now && uint64(bk.prechSeq) > c.q.FiringSeq() {
+		if !boundary && bk.prechAt == now && uint64(bk.prechSeq) > c.qs[chIdx].FiringSeq() {
 			if bk.defDispatch {
 				// The dispatching close fires later this instant; its
 				// start-bank activation is still queued in the deferred
@@ -752,7 +824,7 @@ func (c *Controller) materializePrecharge(bk *bank, chIdx, rankIdx int, b bankID
 	bk.prechDeferred = false
 	c.channels[chIdx].defAts[b] = noDeferral
 	c.defPrech[chIdx][rankIdx]--
-	c.q.ScheduleBoundSeq(bk.prechAt, bk.prechSeq, c.onPrecharge, nil, int32(chIdx), int32(b))
+	c.qs[chIdx].ScheduleBoundSeq(bk.prechAt, bk.prechSeq, c.onPrecharge, nil, int32(chIdx), int32(b))
 }
 
 // reviveDispatch converts a deferred dispatching close back into a real
@@ -764,7 +836,7 @@ func (c *Controller) materializePrecharge(bk *bank, chIdx, rankIdx int, b bankID
 func (c *Controller) reviveDispatch(chIdx int, b bankID) {
 	ch := c.channels[chIdx]
 	bk := &ch.banks[b]
-	if !c.q.CancelDeferred(bk.prechSeq) {
+	if !c.qs[chIdx].CancelDeferred(bk.prechSeq) {
 		panic("memctrl: deferred dispatch activation already materialized")
 	}
 	bk.prechDeferred = false
@@ -772,7 +844,7 @@ func (c *Controller) reviveDispatch(chIdx int, b bankID) {
 	bk.defReq = nil
 	ch.defAts[b] = noDeferral
 	c.defPrech[chIdx][int(b)/c.cfg.BanksPerRank]--
-	c.q.ScheduleBoundSeq(bk.prechAt, bk.prechSeq, c.onPrecharge, nil, int32(chIdx), int32(b))
+	c.qs[chIdx].ScheduleBoundSeq(bk.prechAt, bk.prechSeq, c.onPrecharge, nil, int32(chIdx), int32(b))
 }
 
 // reviveRankDispatches revives every deferred dispatching close of a
@@ -823,7 +895,7 @@ func (c *Controller) refreshTickEvent(now config.Time, _ any, a, b int32) {
 func (c *Controller) refreshTimer(now config.Time, chIdx, rankIdx int) {
 	c.settleRank(now, chIdx, rankIdx, false)
 	c.reviveRankDispatches(chIdx, rankIdx)
-	c.q.ScheduleBound(now+c.cfg.Timing.RefreshInterval(), c.onRefreshTick, nil, int32(chIdx), int32(rankIdx))
+	c.qs[chIdx].ScheduleBound(now+c.cfg.Timing.RefreshInterval(), c.onRefreshTick, nil, int32(chIdx), int32(rankIdx))
 	c.ranks[chIdx][rankIdx].SetRefreshPending()
 	c.refreshKick(now, chIdx, rankIdx)
 }
@@ -842,7 +914,7 @@ func (c *Controller) refreshKick(now config.Time, chIdx, rankIdx int) {
 	if c.tel != nil {
 		c.tel.Refresh(now, chIdx, rankIdx, until-now)
 	}
-	c.q.ScheduleBound(until, c.onRefreshDone, nil, int32(chIdx), int32(rankIdx))
+	c.qs[chIdx].ScheduleBound(until, c.onRefreshDone, nil, int32(chIdx), int32(rankIdx))
 }
 
 // refreshDoneEvent completes a running refresh: a round that became
@@ -870,6 +942,12 @@ func (c *Controller) kickRank(now config.Time, chIdx, rankIdx int) {
 // operating points, plus the MC reference frequency. Call before every
 // frequency change and at reporting boundaries.
 func (c *Controller) FlushInterval(now config.Time) power.Interval {
+	if c.parallel {
+		// Relocks completing inside a window refresh only their shard's
+		// clock replica; settle the shared MC clock now that every shard
+		// sits at the window edge.
+		c.updateMCClock()
+	}
 	iv := power.Interval{
 		Duration:  now - c.flushedAt,
 		MCBusFreq: c.mcBusFreq,
@@ -953,7 +1031,7 @@ func (c *Controller) setChannelFrequency(now config.Time, chIdx int, f config.Fr
 	if c.tel != nil {
 		c.tel.FreqTransition(now, chIdx, ch.timing.BusFreq, f, halt)
 	}
-	c.q.ScheduleBound(ch.relockUntil, c.onRelockDone, nil, int32(chIdx), int32(f))
+	c.qs[chIdx].ScheduleBound(ch.relockUntil, c.onRelockDone, nil, int32(chIdx), int32(f))
 	return ch.relockUntil
 }
 
@@ -974,7 +1052,7 @@ func (c *Controller) StallChannels(now config.Time, stall config.Time) {
 		ch.relockUntil = now + stall
 		// b == 0 marks a pure stall: the operating point is unchanged,
 		// so onRelockDone skips the timing/MC-clock update.
-		c.q.ScheduleBound(ch.relockUntil, c.onRelockDone, nil, int32(chIdx), 0)
+		c.qs[chIdx].ScheduleBound(ch.relockUntil, c.onRelockDone, nil, int32(chIdx), 0)
 	}
 }
 
@@ -990,11 +1068,21 @@ func (c *Controller) onRelockDoneEvent(now config.Time, _ any, a, b int32) {
 		f := config.FreqMHz(b)
 		ch.timing = dram.Resolve(c.cfg.Timing, f, c.devFreqFor(f))
 		ch.relocking = false
-		c.updateMCClock()
+		if c.parallel {
+			// Other channels belong to other shards mid-window, so only
+			// the shard-local clock replica is refreshed here. Parallel
+			// runs use the uniform governor: every channel relocks to the
+			// same frequency, so the local value is the global one; the
+			// shared clock is re-derived at the next window edge
+			// (FlushInterval).
+			c.mcTimes[a] = c.cfg.Timing.MCTime(f)
+		} else {
+			c.updateMCClock()
+		}
 	} else {
 		ch.relocking = false
 	}
-	c.q.AfterBound(0, c.onRelockKick, nil, a, 0)
+	c.qs[a].AfterBound(0, c.onRelockKick, nil, a, 0)
 }
 
 // onRelockKickEvent re-kicks every rank and the bus of a channel whose
@@ -1043,6 +1131,9 @@ func (c *Controller) updateMCClock() {
 	}
 	c.mcBusFreq = max
 	c.mcTime = c.cfg.Timing.MCTime(max)
+	for i := range c.mcTimes {
+		c.mcTimes[i] = c.mcTime
+	}
 }
 
 // Relocking reports whether any channel's frequency switch is in

@@ -44,6 +44,9 @@ type ChannelCounters struct {
 
 	RBHC, OBMC, CBMC, EPDC uint64
 
+	// POCC: page open/close command pairs issued on this channel.
+	POCC uint64
+
 	Reads, Writebacks uint64
 
 	// TLM[i]: core i's LLC misses serviced by this channel.
@@ -66,6 +69,7 @@ func (c ChannelCounters) sub(prev ChannelCounters) ChannelCounters {
 	out.OBMC -= prev.OBMC
 	out.CBMC -= prev.CBMC
 	out.EPDC -= prev.EPDC
+	out.POCC -= prev.POCC
 	out.Reads -= prev.Reads
 	out.Writebacks -= prev.Writebacks
 	for i := range out.TLM {
@@ -84,6 +88,7 @@ func (c ChannelCounters) add(o ChannelCounters) ChannelCounters {
 	out.OBMC += o.OBMC
 	out.CBMC += o.CBMC
 	out.EPDC += o.EPDC
+	out.POCC += o.POCC
 	out.Reads += o.Reads
 	out.Writebacks += o.Writebacks
 	for i := range out.TLM {

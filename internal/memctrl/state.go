@@ -153,7 +153,7 @@ func (c *Controller) Save(tbl *RequestTable) *ControllerState {
 		Pending:    copy2D(c.pending),
 		DefPrech:   copy2D(c.defPrech),
 		DefGate:    append([]config.Time(nil), c.defGate...),
-		Counters:   c.counters.Clone(),
+		Counters:   c.Counters(),
 		FlushedAt:  c.flushedAt,
 		Quiesce:    c.quiesce,
 	}

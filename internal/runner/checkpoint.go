@@ -305,6 +305,7 @@ func (e *Engine) runCheckpointAttempt(ctx context.Context, job Job, cfg config.C
 		KeepTimeline: job.Timeline,
 		Telemetry:    rec,
 		Faults:       inj,
+		Shards:       job.Shards,
 	})
 	if err != nil {
 		return Outcome{}, nil, 0, err
@@ -391,6 +392,11 @@ type ResumeJob struct {
 	Timeline  bool
 	Telemetry *telemetry.Options
 	Timeout   time.Duration
+
+	// Shards mirrors Job.Shards for the resumed portion. A checkpoint
+	// written under any shard count restores under any other: the saved
+	// event state is the canonical serial image either way.
+	Shards int
 }
 
 // Resume continues a checkpointed run to rj.Epochs total epochs and
@@ -519,6 +525,7 @@ func (e *Engine) resumeAttempt(ctx context.Context, rj ResumeJob, spec policies.
 		KeepTimeline: rj.Timeline,
 		Telemetry:    rec,
 		Faults:       inj,
+		Shards:       rj.Shards,
 	}, ck.State)
 	if err != nil {
 		return Outcome{}, err

@@ -69,6 +69,14 @@ type Job struct {
 	// Cores and Channels, when positive, override the machine shape.
 	Cores, Channels int
 
+	// Shards, when > 1, requests the channel-sharded parallel event
+	// engine for the managed run (sim.Options.Shards). The run is
+	// bit-identical to the serial engine at any shard count; the engine
+	// falls back to serial when the workload or governor is ineligible.
+	// The baseline is always simulated serially — it is memoized and
+	// shared, and sharding would not change its result.
+	Shards int
+
 	// Mutate, when non-nil, edits the configuration after the fields
 	// above are applied and before the policy's own Configure hook;
 	// both the baseline and the managed run see the mutation.
@@ -344,6 +352,7 @@ func (e *Engine) runAttempt(ctx context.Context, job Job, cfg config.Config, non
 		KeepTimeline: job.Timeline,
 		Telemetry:    rec,
 		Faults:       inj,
+		Shards:       job.Shards,
 	}
 	var s *sim.System
 	if job.Warm != nil {

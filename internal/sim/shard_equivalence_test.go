@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"memscale/internal/config"
+	"memscale/internal/faults"
+	"memscale/internal/trace"
+)
+
+// buildConfinedStreams is buildStreams with OS page placement confining
+// core i to channel i mod Channels — the partitioned workload shape the
+// channel-sharded event engine requires.
+func buildConfinedStreams(t *testing.T, cfg *config.Config, profiles []trace.Profile, seed uint64) []*trace.Stream {
+	t.Helper()
+	mapper := config.NewAddressMapper(cfg)
+	streams := make([]*trace.Stream, len(profiles))
+	for i, p := range profiles {
+		s, err := trace.NewStreamOnChannels(p, mapper, seed+uint64(i)*0x9e3779b97f4a7c15,
+			[]int{i % cfg.Channels})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = s
+	}
+	return streams
+}
+
+// TestShardSerialFallback pins the engine's eligibility rules: a
+// workload with any unconfined stream, a telemetry recorder, or a
+// per-channel governor must silently run serially even when Shards > 1
+// (zero lookahead between shards makes those cases impossible to run
+// bit-identically in parallel), and ParallelShards reports the engine
+// actually in use.
+func TestShardSerialFallback(t *testing.T) {
+	cfg := config.Default()
+	cfg.Cores = 4
+	profile := trace.Profile{Name: "fallback", Phases: []trace.Phase{
+		{BaseCPI: 1, MPKI: 20, WPKI: 5, RowLocality: 0.5},
+	}}
+	profiles := make([]trace.Profile, cfg.Cores)
+	for i := range profiles {
+		profiles[i] = profile
+	}
+
+	t.Run("interleaved workload", func(t *testing.T) {
+		s, err := New(cfg, buildStreams(t, &cfg, profiles, 1), Options{
+			Governor: &ladderGovernor{}, Shards: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.ParallelShards(); got != 1 {
+			t.Errorf("ParallelShards() = %d for interleaved streams, want 1", got)
+		}
+	})
+	t.Run("confined workload engages", func(t *testing.T) {
+		s, err := New(cfg, buildConfinedStreams(t, &cfg, profiles, 1), Options{
+			Governor: &ladderGovernor{}, Shards: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.ParallelShards(); got != 4 {
+			t.Errorf("ParallelShards() = %d for confined streams, want 4", got)
+		}
+	})
+	t.Run("shards clamp to channels", func(t *testing.T) {
+		cfg := cfg
+		cfg.Channels = 2
+		s, err := New(cfg, buildConfinedStreams(t, &cfg, profiles, 1), Options{
+			Governor: &ladderGovernor{}, Shards: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.ParallelShards(); got != 2 {
+			t.Errorf("ParallelShards() = %d with 2 channels, want 2", got)
+		}
+	})
+	t.Run("DisableParallel wins", func(t *testing.T) {
+		s, err := New(cfg, buildConfinedStreams(t, &cfg, profiles, 1), Options{
+			Governor: &ladderGovernor{}, Shards: 4, DisableParallel: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.ParallelShards(); got != 1 {
+			t.Errorf("ParallelShards() = %d with DisableParallel, want 1", got)
+		}
+	})
+}
+
+// FuzzShardEquivalence is the parallel engine's core contract under
+// adversarial inputs: for any channel-partitioned workload shape, shard
+// count, and refresh-storm schedule, the sharded run must be equivalent
+// to the serial run request for request — identical MC counters
+// (every request saw the same bank state, queue depth, and row-buffer
+// outcome), identical per-core CPI, energy, residency, fault counts,
+// and fired-event total. GOMAXPROCS does not matter for the property:
+// the window protocol is deterministic, not scheduling-dependent.
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add(uint64(1), 30.0, 0.2, 8.0, 0.7, uint8(2), uint8(1))
+	f.Add(uint64(42), 55.0, 0.0, 20.0, 0.2, uint8(4), uint8(3))
+	f.Add(uint64(7), 5.0, 4.9, 0.1, 0.95, uint8(3), uint8(0))
+
+	f.Fuzz(func(t *testing.T, seed uint64, burstMPKI, idleMPKI, wbFrac, rowLoc float64,
+		shards, storms uint8) {
+
+		clamp := func(v, lo, hi float64) float64 {
+			if math.IsNaN(v) || v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		burstMPKI = clamp(burstMPKI, 1, 80)
+		idleMPKI = clamp(idleMPKI, 0.01, 5)
+		rowLoc = clamp(rowLoc, 0, 0.99)
+		wbFrac = clamp(wbFrac, 0, 1)
+
+		cfg := config.Default()
+		cfg.Cores = 4
+		cfg.Policy.EpochLength = 2 * config.Millisecond
+
+		profile := trace.Profile{Name: "fuzz", Phases: []trace.Phase{
+			{Instructions: 10_000 + seed%50_000, BaseCPI: 1, MPKI: burstMPKI,
+				WPKI: burstMPKI * wbFrac, RowLocality: rowLoc},
+			{Instructions: 40_000, BaseCPI: 0.7, MPKI: idleMPKI,
+				WPKI: idleMPKI * wbFrac, RowLocality: rowLoc},
+			{BaseCPI: 1, MPKI: burstMPKI / 2, WPKI: burstMPKI / 2 * wbFrac,
+				RowLocality: 0.99 - rowLoc},
+		}}
+		profiles := make([]trace.Profile, cfg.Cores)
+		for i := range profiles {
+			profiles[i] = profile
+		}
+
+		// Cross-shard traffic: a storm schedule that fires inside the run,
+		// so the window protocol's ticket reservation is exercised.
+		fc := faults.Config{
+			Seed:               seed,
+			RefreshStormRate:   1,
+			RefreshStormBursts: 1 + int(storms)%4,
+		}
+
+		run := func(n int) (Result, interface{}) {
+			inj, err := faults.New(fc, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(cfg, buildConfinedStreams(t, &cfg, profiles, seed), Options{
+				Governor: &ladderGovernor{},
+				Faults:   inj,
+				Shards:   n,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := s.RunFor(2 * cfg.Policy.EpochLength)
+			return res, s.MC.Counters()
+		}
+
+		serial, serialCtr := run(1)
+		n := 2 + int(shards)%(cfg.Channels-1) // 2..Channels
+		sharded, shardedCtr := run(n)
+
+		requireSameResult(t, serial, sharded)
+		if !reflect.DeepEqual(serialCtr, shardedCtr) {
+			t.Errorf("MC counters diverged at %d shards:\nserial:  %+v\nsharded: %+v",
+				n, serialCtr, shardedCtr)
+		}
+		if serial.Faults != sharded.Faults {
+			t.Errorf("fault counts diverged: %+v != %+v", serial.Faults, sharded.Faults)
+		}
+		if serial.Events != sharded.Events {
+			t.Errorf("sharded run fired %d events, serial fired %d", sharded.Events, serial.Events)
+		}
+	})
+}

@@ -186,6 +186,48 @@ type Options struct {
 	// conservation property tests check exactly that), so the switch
 	// exists for differential testing and debugging, not correctness.
 	DisableCoalescing bool
+
+	// Shards requests the channel-sharded parallel event engine
+	// (DESIGN.md §4k): the memory channels — and the cores bound to
+	// them — split across up to Shards event queues that advance
+	// concurrently inside each conservative window. 0 or 1 runs the
+	// serial engine. Sharding engages only when it is provably
+	// bit-identical to the serial engine: every core's stream must be
+	// confined to one channel (a partitioned mix), the governor must be
+	// uniform (not per-channel), and no telemetry recorder may be
+	// attached; otherwise the run silently falls back to serial. The
+	// effective shard count is capped at the channel count.
+	Shards int
+
+	// DisableParallel forces the serial engine regardless of Shards —
+	// the differential switch mirroring DisableCoalescing.
+	DisableParallel bool
+}
+
+// parallelShards resolves the effective shard count for a run: the
+// requested count capped at the channel count when every eligibility
+// condition holds, 1 (serial) otherwise. The conditions are exactly
+// the proof obligations of DESIGN.md §4k: channel-confined streams
+// make every event shard-local, a uniform governor keeps the MC clock
+// replicas coherent, and no telemetry keeps the hot paths free of
+// shared observers.
+func parallelShards(cfg *config.Config, streams []*trace.Stream, opts Options) int {
+	if opts.Shards <= 1 || opts.DisableParallel || opts.Telemetry != nil {
+		return 1
+	}
+	if _, perChannel := opts.Governor.(PerChannelGovernor); perChannel {
+		return 1
+	}
+	for _, st := range streams {
+		if _, ok := st.HomeChannel(); !ok {
+			return 1
+		}
+	}
+	n := opts.Shards
+	if n > cfg.Channels {
+		n = cfg.Channels
+	}
+	return n
 }
 
 // System is one fully wired simulated server.
@@ -216,6 +258,20 @@ type System struct {
 	// name the pending bursts.
 	onForceRefresh event.Bound
 
+	// shards is the channel-sharded parallel event engine (nil when the
+	// serial engine is in force); chShard maps each memory channel to
+	// its owning shard. Under the sharded engine s.Q aliases shard 0,
+	// whose clock equals every other shard's at window edges.
+	shards  *event.ShardSet
+	chShard []int
+
+	// pendingStorms holds refresh-storm bursts registered at an epoch
+	// edge but not yet fired. Under the sharded engine a burst touches
+	// every channel, so it lives outside any one shard's queue: its
+	// per-shard ordering tickets are reserved at registration and the
+	// burst fires at a cross-shard exchange point in stepShards.
+	pendingStorms []pendingStorm
+
 	// invEnergyJ is the invariant plane's energy witness: the running
 	// sum of per-epoch memory energy, accumulated with a different
 	// float association than the meter's per-interval total so the two
@@ -241,6 +297,14 @@ type stepState struct {
 	idx       int
 }
 
+// pendingStorm is one registered-but-unfired refresh-storm burst under
+// the sharded engine: its fire time and the per-shard ordering tickets
+// reserved when it was registered.
+type pendingStorm struct {
+	at      config.Time
+	tickets []event.Seq
+}
+
 // New builds a system running the given per-core streams under cfg.
 func New(cfg config.Config, streams []*trace.Stream, opts Options) (*System, error) {
 	if err := cfg.Validate(); err != nil {
@@ -249,9 +313,26 @@ func New(cfg config.Config, streams []*trace.Stream, opts Options) (*System, err
 	if len(streams) != cfg.Cores {
 		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), cfg.Cores)
 	}
-	s := &System{Cfg: cfg, Q: &event.Queue{}, opts: opts}
+	s := &System{Cfg: cfg, opts: opts}
+	if n := parallelShards(&s.Cfg, streams, opts); n > 1 {
+		s.shards = event.NewShardSet(n)
+		s.chShard = make([]int, s.Cfg.Channels)
+		for ch := range s.chShard {
+			s.chShard[ch] = ch % n
+		}
+		s.Q = s.shards.Shard(0)
+	} else {
+		s.Q = &event.Queue{}
+	}
 	s.onForceRefresh = s.forceRefreshEvent
 	s.MC = memctrl.New(&s.Cfg, s.Q)
+	if s.shards != nil {
+		qs := make([]*event.Queue, s.Cfg.Channels)
+		for ch := range qs {
+			qs[ch] = s.shards.Shard(s.chShard[ch])
+		}
+		s.MC.SetShardQueues(qs)
+	}
 	s.Model = power.NewModel(&s.Cfg)
 	s.Meter = power.NewMeter(s.Model)
 	if opts.Telemetry != nil {
@@ -259,7 +340,15 @@ func New(cfg config.Config, streams []*trace.Stream, opts Options) (*System, err
 		s.Meter.SetTelemetry(opts.Telemetry)
 	}
 	for i, st := range streams {
-		s.Cores = append(s.Cores, cpu.New(i, &s.Cfg, s.Q, s.MC, st))
+		q := s.Q
+		if s.shards != nil {
+			// Eligibility proved the stream channel-confined; the core
+			// schedules on — and its data returns arrive via — its home
+			// channel's shard.
+			home, _ := st.HomeChannel()
+			q = s.shards.Shard(s.chShard[home])
+		}
+		s.Cores = append(s.Cores, cpu.New(i, &s.Cfg, q, s.MC, st))
 	}
 	s.result.FreqTime = map[config.FreqMHz]config.Time{}
 	if s.opts.MaxDuration <= 0 {
@@ -323,6 +412,17 @@ func (s *System) SetFrequencyCap(f config.FreqMHz) error {
 // FrequencyCap returns the ceiling set by SetFrequencyCap (0 when
 // uncapped).
 func (s *System) FrequencyCap() config.FreqMHz { return s.capFreq }
+
+// ParallelShards reports how many shards the event engine actually
+// runs: the resolved count under the sharded engine, 1 when the serial
+// engine is in force — whether by request (Shards <= 1,
+// DisableParallel) or by eligibility fallback.
+func (s *System) ParallelShards() int {
+	if s.shards == nil {
+		return 1
+	}
+	return s.shards.Shards()
+}
 
 // flush closes the power interval at now, meters it, and returns it
 // alongside its energy breakdown.
@@ -407,6 +507,9 @@ func (s *System) stepUntil(ctx context.Context, deadline config.Time) error {
 		// result, so mid-chunk state is never observed either.
 		s.MC.SetQuiesceHorizon(deadline)
 	}
+	if s.shards != nil {
+		return s.stepShards(ctx, deadline)
+	}
 	if ctx.Done() == nil {
 		// No cancellation possible (context.Background()): skip the
 		// chunking entirely.
@@ -419,6 +522,44 @@ func (s *System) stepUntil(ctx context.Context, deadline config.Time) error {
 			next = deadline
 		}
 		s.Q.RunUntil(next)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if next >= deadline {
+			return nil
+		}
+	}
+}
+
+// stepShards is the sharded engine's window loop. Each pending storm
+// burst splits the drain at a cross-shard exchange point; the
+// stretches between are conservative windows the shards advance
+// concurrently. The quiesce horizon stepUntil just declared — nothing
+// samples counters, power, or instruction state strictly before the
+// deadline — is exactly the no-cross-shard-interaction guarantee the
+// windows need, since every event inside a window is per-channel by
+// construction.
+func (s *System) stepShards(ctx context.Context, deadline config.Time) error {
+	for len(s.pendingStorms) > 0 && s.pendingStorms[0].at <= deadline {
+		ps := s.pendingStorms[0]
+		s.pendingStorms = s.pendingStorms[1:]
+		s.shards.RunCross(ps.at, ps.tickets, func(now config.Time) { s.MC.ForceRefresh(now) })
+		if ctx.Done() != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	if ctx.Done() == nil {
+		s.shards.RunUntil(deadline)
+		return nil
+	}
+	for {
+		next := s.shards.Now() + cancelCheckStep
+		if next > deadline {
+			next = deadline
+		}
+		s.shards.RunUntil(next)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -573,7 +714,18 @@ func (s *System) stepEpoch(ctx context.Context, wantRec bool) (EpochRecord, erro
 			tel.Fault(decisionAt, uint8(faults.KindRefreshStorm), int64(plan.StormBursts), 0)
 			spacing := 2 * s.MC.Timing().TRFC
 			for b := 0; b < plan.StormBursts; b++ {
-				s.Q.ScheduleBound(decisionAt+config.Time(b)*spacing, s.onForceRefresh, nil, 0, 0)
+				at := decisionAt + config.Time(b)*spacing
+				if s.shards != nil {
+					// A burst refreshes every channel, so it is a
+					// cross-shard event: reserve its per-shard ordering
+					// tickets now, while the queues sit quiescent at the
+					// edge, and fire it at the exchange point in
+					// stepShards.
+					s.pendingStorms = append(s.pendingStorms,
+						pendingStorm{at: at, tickets: s.shards.ReserveTickets()})
+				} else {
+					s.Q.ScheduleBound(at, s.onForceRefresh, nil, 0, 0)
+				}
 			}
 		}
 
@@ -857,5 +1009,8 @@ func (s *System) finalize() Result {
 	r.DIMMAvgWatts = s.Meter.AverageDIMMPower()
 	r.MemAvgWatts = s.Meter.AveragePower()
 	r.Events = s.Q.Fired()
+	if s.shards != nil {
+		r.Events = s.shards.Fired()
+	}
 	return *r
 }

@@ -125,6 +125,22 @@ type RunConfig struct {
 	Cores    int
 	Channels int
 
+	// Partitioned confines each application of the mix to its own
+	// memory channel (OS page placement; application i maps to channel
+	// i mod Channels). Partitioned runs draw the same per-core traces
+	// as the unpartitioned mix — placement, not content, differs — and
+	// are the workload shape the sharded parallel engine requires.
+	Partitioned bool
+
+	// Shards, when > 1, runs the managed simulation on the
+	// channel-sharded parallel event engine: up to Shards event queues
+	// advance concurrently inside conservative time windows, producing
+	// results bit-identical to the serial engine. Sharding engages only
+	// for partitioned, channel-confined workloads under a uniform
+	// governor; other runs silently fall back to serial. 0 or 1 selects
+	// the serial engine. Must not exceed the channel count.
+	Shards int
+
 	// Timeline retains per-epoch frequency/CPI records.
 	Timeline bool
 
@@ -291,6 +307,18 @@ func (rc RunConfig) Validate() error {
 	case rc.Channels < 0:
 		return fmt.Errorf("%w: channels: must be >= 0 (0 selects the default), got %d",
 			ErrInvalidConfig, rc.Channels)
+	case rc.Shards < 0:
+		return fmt.Errorf("%w: shards: must be >= 0 (0 selects the serial engine), got %d",
+			ErrInvalidConfig, rc.Shards)
+	}
+	if ch := rc.Channels; rc.Shards > 1 {
+		if ch == 0 {
+			ch = config.Default().Channels
+		}
+		if rc.Shards > ch {
+			return fmt.Errorf("%w: shards: must not exceed the channel count %d, got %d",
+				ErrInvalidConfig, ch, rc.Shards)
+		}
 	}
 	if err := rc.Faults.validate("faults"); err != nil {
 		return err
@@ -396,6 +424,9 @@ func (rc RunConfig) job() (runner.Job, error) {
 	if err != nil {
 		return runner.Job{}, err
 	}
+	if rc.Partitioned {
+		mix = mix.Partition()
+	}
 	spec, err := policies.ByName(rc.Policy)
 	if err != nil {
 		return runner.Job{}, err
@@ -407,6 +438,7 @@ func (rc RunConfig) job() (runner.Job, error) {
 		Gamma:     rc.Gamma,
 		Cores:     rc.Cores,
 		Channels:  rc.Channels,
+		Shards:    rc.Shards,
 		Timeline:  rc.Timeline,
 		Telemetry: rc.Telemetry.options(),
 		Faults:    rc.Faults.internal(),
@@ -483,6 +515,12 @@ type RunSummary struct {
 
 // Mixes returns the Table 1 workload names.
 func Mixes() []string { return workload.Names() }
+
+// PartitionedSuffix appended to a mix name ("MEM1" + PartitionedSuffix
+// = "MEM1/part") selects the channel-partitioned variant of the mix —
+// equivalent to setting RunConfig.Partitioned on the base mix. This is
+// how fleet node groups request partitioned workloads (NodeGroup.Mix).
+const PartitionedSuffix = workload.PartitionedSuffix
 
 // Policies returns the scheme names accepted by RunConfig.Policy.
 func Policies() []string { return policies.Names() }

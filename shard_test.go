@@ -1,0 +1,137 @@
+package memscale
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// requireInvalid asserts err is ErrInvalidConfig naming the given
+// field path.
+func requireInvalid(t *testing.T, err error, path string) {
+	t.Helper()
+	if !errors.Is(err, ErrInvalidConfig) || !strings.Contains(err.Error(), path) {
+		t.Fatalf("err = %v, want ErrInvalidConfig naming %s", err, path)
+	}
+}
+
+// shardCounts are the shard counts the parity suite runs against the
+// serial reference: 2, 4 (one shard per default channel), and — when it
+// is distinct and usable — GOMAXPROCS, so CI exercises the engine at
+// the width it actually runs benchmarks at. Counts above the default
+// channel count are clamped (Validate rejects shards > channels).
+func shardCounts() []int {
+	counts := []int{2, 4}
+	g := runtime.GOMAXPROCS(0)
+	if g > 4 {
+		g = 4
+	}
+	if g > 1 && g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+// TestShardParity is the parallel engine's acceptance gate at the
+// public API: every golden determinism config — including the
+// fault-injected one, whose refresh storms are cross-shard events —
+// run on its channel-partitioned variant must produce Float64bits-
+// identical summaries on the serial engine and on every shard count.
+// The differential covers the whole stack: partitioned trace
+// placement, per-channel controller ownership, the conservative window
+// loop, storm ticket reservation, and the paired-baseline runner.
+func TestShardParity(t *testing.T) {
+	ctx := context.Background()
+	for _, base := range goldenConfigs() {
+		rc := base
+		rc.Partitioned = true
+		t.Run(rc.Mix+"/"+rc.Policy, func(t *testing.T) {
+			t.Parallel()
+			serial, err := RunContext(ctx, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range shardCounts() {
+				src := rc
+				src.Shards = n
+				got, err := RunContext(ctx, src)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", n, err)
+				}
+				sameBits(t, fmt.Sprintf("shards=%d", n), serial, got)
+			}
+		})
+	}
+}
+
+// TestShardValidate pins the shards field's validation paths: negatives
+// and counts above the channel count are rejected with ErrInvalidConfig
+// naming the field, for both the single-run and fleet configs.
+func TestShardValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		rc   RunConfig
+		path string
+	}{
+		{"negative", RunConfig{Mix: "MID1", Shards: -1}, "shards"},
+		{"exceeds default channels", RunConfig{Mix: "MID1", Shards: 5}, "shards"},
+		{"exceeds explicit channels", RunConfig{Mix: "MID1", Channels: 2, Shards: 3}, "shards"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			requireInvalid(t, tc.rc.Validate(), tc.path)
+		})
+	}
+	t.Run("fleet negative", func(t *testing.T) {
+		fc := FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "MID1", Shards: -1}}}
+		requireInvalid(t, fc.Validate(), "groups[0].shards")
+	})
+	t.Run("fleet exceeds channels", func(t *testing.T) {
+		fc := FleetConfig{Groups: []NodeGroup{{Nodes: 1, Mix: "MID1", Channels: 2, Shards: 4}}}
+		requireInvalid(t, fc.Validate(), "groups[0].shards")
+	})
+	t.Run("shards equal to channels is valid", func(t *testing.T) {
+		rc := RunConfig{Mix: "MID1", Shards: 4}
+		if err := rc.Validate(); err != nil {
+			t.Fatalf("Validate() = %v, want nil", err)
+		}
+	})
+}
+
+// TestFleetShardIdentity extends the fleet's worker-count determinism
+// contract to the event engine: the same fleet on serial nodes and on
+// 4-shard nodes yields a bit-identical summary, under capping and
+// chaos-free conditions alike.
+func TestFleetShardIdentity(t *testing.T) {
+	ctx := context.Background()
+	base := FleetConfig{
+		Epochs:       3,
+		Seed:         11,
+		PowerBudgetW: 400,
+		Groups: []NodeGroup{
+			{Name: "mem", Nodes: 2, Mix: "MEM1/part", Cores: 4},
+			{Name: "mid", Nodes: 2, Mix: "MID1/part", Cores: 4},
+		},
+	}
+	serial, err := RunFleet(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	for i := range sharded.Groups {
+		sharded.Groups[i].Shards = 4
+	}
+	got, err := RunFleet(ctx, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.SER != got.SER || serial.AvgCPIIncrease != got.AvgCPIIncrease ||
+		serial.MemAvgPowerW != got.MemAvgPowerW {
+		t.Errorf("fleet summary diverged across shard counts:\nserial:  SER=%v CPI=%v P=%v\nsharded: SER=%v CPI=%v P=%v",
+			serial.SER, serial.AvgCPIIncrease, serial.MemAvgPowerW,
+			got.SER, got.AvgCPIIncrease, got.MemAvgPowerW)
+	}
+}

@@ -21,7 +21,10 @@
 // Besides ceilings, the guard enforces minimum floors on custom
 // metrics — e.g. BenchmarkForkedSweep must keep its warm-speedup-x at
 // or above 1.8, so losing the warm-start fast path fails CI. A floor
-// is only enforced when the run emitted the metric.
+// is only enforced when the run emitted the metric, and every floored
+// metric the run did emit is persisted into the report's
+// min_metric_values block next to its floor, so the recorded
+// BENCH_*.json answers "what speedup did CI actually measure?".
 //
 // Budgets default to the tables below; override per benchmark with
 // -max-allocs 'BenchmarkSingleRun=10000',
@@ -95,6 +98,10 @@ var defaultMinMetrics = map[string]map[string]float64{
 	// it). The benchmark only emits speedup-x on multi-CPU hosts, so
 	// single-core runs cannot trip the floor.
 	"BenchmarkSingleRunParallel": {"speedup-x": 1.4},
+	// The unpartitioned interleaved mix shards at confinement-group
+	// boundaries: MEM1/ilv2 resolves to 2 shards (ideal 2x), so the
+	// floor sits lower than the 4-shard partitioned one.
+	"BenchmarkSingleRunParallelInterleaved": {"speedup-x": 1.3},
 }
 
 type result struct {
@@ -110,9 +117,16 @@ type report struct {
 	Budgets      map[string]int64              `json:"budgets_allocs_per_op"`
 	EventBudgets map[string]float64            `json:"budgets_events_per_op,omitempty"`
 	MinMetrics   map[string]map[string]float64 `json:"min_metrics,omitempty"`
-	Improve      map[string]float64            `json:"speedup_vs_baseline,omitempty"`
-	EventsRatio  map[string]float64            `json:"events_reduction_vs_baseline,omitempty"`
-	Violations   []string                      `json:"violations"`
+
+	// MinMetricValues records the values the run actually achieved for
+	// every floored metric that was emitted — the measured speedup-x
+	// next to its floor, so the report answers "how much headroom is
+	// left?" without re-running the benchmark.
+	MinMetricValues map[string]map[string]float64 `json:"min_metric_values,omitempty"`
+
+	Improve     map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	EventsRatio map[string]float64 `json:"events_reduction_vs_baseline,omitempty"`
+	Violations  []string           `json:"violations"`
 }
 
 // parseLine decodes one `go test -bench` result line, e.g.
@@ -288,14 +302,15 @@ func main() {
 	}
 
 	rep := report{
-		Benchmarks:   map[string]result{},
-		Baseline:     recordedBaselines,
-		Budgets:      budgets,
-		EventBudgets: eventBudgets,
-		MinMetrics:   minMetrics,
-		Improve:      map[string]float64{},
-		EventsRatio:  map[string]float64{},
-		Violations:   []string{},
+		Benchmarks:      map[string]result{},
+		Baseline:        recordedBaselines,
+		Budgets:         budgets,
+		EventBudgets:    eventBudgets,
+		MinMetrics:      minMetrics,
+		MinMetricValues: map[string]map[string]float64{},
+		Improve:         map[string]float64{},
+		EventsRatio:     map[string]float64{},
+		Violations:      []string{},
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
@@ -355,6 +370,10 @@ func main() {
 			if !reported {
 				continue // floors only bind when the run emitted the metric
 			}
+			if rep.MinMetricValues[name] == nil {
+				rep.MinMetricValues[name] = map[string]float64{}
+			}
+			rep.MinMetricValues[name][metric] = v
 			if v < floor {
 				rep.Violations = append(rep.Violations, fmt.Sprintf(
 					"%s reported %s = %.3f, floor %.3f", name, metric, v, floor))

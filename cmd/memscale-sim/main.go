@@ -19,11 +19,13 @@
 // the same seed and rates reproduce the same disturbance schedule,
 // fault counts, and energy totals.
 //
-// -shards N runs the managed system on the channel-sharded parallel
-// event engine (results are bit-identical to the serial engine; the
-// engine engages when the workload is channel-partitioned, e.g. a
-// "/part" mix or -partitioned). -partitioned confines each application
-// of the mix to its own memory channel (OS page placement).
+// -shards N runs the simulation on the sharded parallel event engine
+// (results — telemetry included — are bit-identical to the serial
+// engine). The engine partitions the workload into confinement groups
+// from its channel placement: "/part" mixes (or -partitioned) shard
+// per channel, "/ilvK" interleaved mixes per K-channel group; plain
+// fully-interleaved mixes fall back to serial. The printed engine line
+// reports the shard count that actually ran.
 //
 // -checkpoint-out captures the run's full simulation state to a
 // container file (at the final epoch by default, or after
@@ -74,7 +76,7 @@ func main() {
 	gamma := flag.Float64("gamma", 0.10, "maximum allowed performance degradation")
 	cores := flag.Int("cores", 0, "core count override (default 16)")
 	channels := flag.Int("channels", 0, "channel count override (default 4)")
-	shards := flag.Int("shards", 1, "event-engine shards (1 = serial; >1 engages the parallel engine on channel-partitioned workloads)")
+	shards := flag.Int("shards", 1, "event-engine shards (1 = serial; >1 engages the parallel engine on partitioned or interleaved workloads)")
 	partitioned := flag.Bool("partitioned", false, "confine each application of the mix to its own memory channel")
 	timeline := flag.Bool("timeline", false, "print the per-epoch frequency/CPI timeline")
 	checkpointOut := flag.String("checkpoint-out", "",
@@ -241,21 +243,12 @@ func main() {
 	}
 
 	fmt.Println(sum)
-	// The engine line reflects what actually ran: sharding engages only
-	// on channel-partitioned workloads without a telemetry recorder
-	// (results are bit-identical either way, so the summary itself
-	// cannot tell). A restored container's workload shape is unknown
-	// here, so that case reports the requested ceiling.
+	// The engine line reports what actually ran: the summary carries
+	// the resolved shard count (1 when the engine fell back to serial —
+	// results are bit-identical either way, so nothing else could tell).
 	engine := "serial"
-	if *shards > 1 {
-		switch {
-		case *telemetryOut != "":
-			// telemetry needs a global event order: serial engine
-		case *restore != "":
-			engine = fmt.Sprintf("up to %d shards", *shards)
-		case *partitioned || strings.HasSuffix(*mix, memscale.PartitionedSuffix):
-			engine = fmt.Sprintf("%d shards", *shards)
-		}
+	if sum.EngineShards > 1 {
+		engine = fmt.Sprintf("%d shards", sum.EngineShards)
 	}
 	fmt.Printf("simulated %.0f ms; memory energy %.3f J; system energy %.3f J; event engine: %s\n",
 		sum.DurationSeconds*1000, sum.MemoryEnergyJ, sum.SystemEnergyJ, engine)

@@ -43,6 +43,11 @@ type Params struct {
 	// results are ordered by submission, not completion.
 	Workers int
 
+	// Shards, when > 1, requests the sharded event engine for every
+	// run in the grids (runner.Job.Shards). Results are bit-identical
+	// at any count; eligibility falls back per run.
+	Shards int
+
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 
@@ -105,6 +110,7 @@ func (p Params) job(mutate func(*config.Config), mix workload.Mix, spec policies
 		Spec:   spec,
 		Epochs: p.Epochs,
 		Gamma:  p.Gamma,
+		Shards: p.Shards,
 		Mutate: mutate,
 	}
 }
@@ -149,7 +155,7 @@ func (p Params) runBaseline(cfg config.Config, mix workload.Mix) (sim.Result, fl
 	if cache == nil {
 		cache = runner.NewBaselineCache()
 	}
-	return cache.Baseline(p.ctx(), cfg, mix, p.Epochs)
+	return cache.Baseline(p.ctx(), cfg, mix, p.Epochs, p.Shards)
 }
 
 // runPair runs (mix, spec) against its baseline under a possibly

@@ -153,8 +153,13 @@ type Controller struct {
 
 	// tel, when non-nil, receives latency/queue-depth samples and
 	// powerdown/refresh/relock events. Purely observational: no
-	// scheduling decision reads it.
-	tel *telemetry.Recorder
+	// scheduling decision reads it. All per-channel emissions route
+	// through telCh — one staging cell per channel, each written only
+	// by the channel's owning shard — so recording is lock-free under
+	// the sharded engine; the recorder folds the cells back at window
+	// edges (telemetry.Recorder.MergeChannels).
+	tel   *telemetry.Recorder
+	telCh []*telemetry.ChannelCell
 
 	// quiesce is the coalescing horizon: the caller's promise that no
 	// external sampling (counter window, power flush, instruction
@@ -296,7 +301,10 @@ func (c *Controller) MCBusFreq() config.FreqMHz { return c.mcBusFreq }
 func (c *Controller) DevFreq() config.FreqMHz { return c.channels[0].timing.DevFreq }
 
 // SetTelemetry attaches a recorder. Pass nil to detach.
-func (c *Controller) SetTelemetry(tel *telemetry.Recorder) { c.tel = tel }
+func (c *Controller) SetTelemetry(tel *telemetry.Recorder) {
+	c.tel = tel
+	c.telCh = tel.ChannelCells(len(c.channels))
+}
 
 // SetQuiesceHorizon declares that nothing outside the event queue will
 // observe controller or core state strictly before t: no counter
@@ -425,7 +433,14 @@ func (c *Controller) Enqueue(now config.Time, line uint64, write bool, core int,
 	}
 
 	if c.tel != nil {
-		c.tel.ObserveQueueDepth(c.QueuedRequests())
+		// Channel-local depth: the count an arrival sees on its own
+		// channel's queues. Reading only this channel's bookkeeping
+		// keeps the observation shard-local under the sharded engine.
+		depth := 0
+		for _, p := range c.pending[loc.Channel] {
+			depth += p
+		}
+		c.telCh[loc.Channel].ObserveQueueDepth(depth)
 	}
 
 	ch.outstanding[b]++
@@ -541,7 +556,7 @@ func (c *Controller) startBankService(now config.Time, chIdx int, b bankID, req 
 	if pdExit {
 		pc.EPDC++
 		if c.tel != nil {
-			c.tel.PowerdownExit(now, chIdx, rankIdx)
+			c.telCh[chIdx].PowerdownExit(now, rankIdx)
 		}
 	}
 
@@ -621,7 +636,7 @@ func (c *Controller) tryGrantBus(now config.Time, chIdx int) {
 	} else {
 		pc.Reads++
 		if c.tel != nil {
-			c.tel.ObserveReadLatency(busEnd - req.Arrived)
+			c.telCh[chIdx].ObserveReadLatency(busEnd - req.Arrived)
 		}
 	}
 
@@ -774,7 +789,7 @@ func (c *Controller) settleRankSlow(now config.Time, chIdx, rankIdx int, boundar
 		bk := &ch.banks[b]
 		if bk.prechAt > now {
 			c.defGate[chIdx*c.ranksPerCh+rankIdx] = bk.prechAt // exact again
-			return // still in the future; revival on arrival handles it
+			return                                             // still in the future; revival on arrival handles it
 		}
 		if !boundary && bk.prechAt == now && uint64(bk.prechSeq) > c.qs[chIdx].FiringSeq() {
 			if bk.defDispatch {
@@ -882,7 +897,7 @@ func (c *Controller) maybePowerdown(now config.Time, chIdx, rankIdx int) {
 	rank := c.ranks[chIdx][rankIdx]
 	slow := c.cfg.Powerdown == config.PowerdownSlow
 	if rank.EnterPowerdown(now, slow) && c.tel != nil {
-		c.tel.PowerdownEnter(now, chIdx, rankIdx, slow)
+		c.telCh[chIdx].PowerdownEnter(now, rankIdx, slow)
 	}
 }
 
@@ -912,7 +927,7 @@ func (c *Controller) refreshKick(now config.Time, chIdx, rankIdx int) {
 		return // still in service; the next FinishAccess re-kicks
 	}
 	if c.tel != nil {
-		c.tel.Refresh(now, chIdx, rankIdx, until-now)
+		c.telCh[chIdx].Refresh(now, rankIdx, until-now)
 	}
 	c.qs[chIdx].ScheduleBound(until, c.onRefreshDone, nil, int32(chIdx), int32(rankIdx))
 }
@@ -1029,7 +1044,7 @@ func (c *Controller) setChannelFrequency(now config.Time, chIdx int, f config.Fr
 	ch.relocking = true
 	ch.relockUntil = now + halt
 	if c.tel != nil {
-		c.tel.FreqTransition(now, chIdx, ch.timing.BusFreq, f, halt)
+		c.telCh[chIdx].FreqTransition(now, ch.timing.BusFreq, f, halt)
 	}
 	c.qs[chIdx].ScheduleBound(ch.relockUntil, c.onRelockDone, nil, int32(chIdx), int32(f))
 	return ch.relockUntil

@@ -52,7 +52,12 @@ func baselineKey(cfg config.Config, mixName string, epochs int) string {
 // its average DIMM power (Section 4.1), simulating it only on the
 // first request. Errors are not cached: a failed or cancelled
 // computation is discarded so a later caller can retry.
-func (c *BaselineCache) Baseline(ctx context.Context, cfg config.Config, mix workload.Mix, epochs int) (sim.Result, float64, error) {
+//
+// shards requests the sharded event engine for the simulation. It is
+// deliberately absent from the cache key: the sharded engine is
+// bit-identical to the serial one at any shard count, so a baseline
+// computed at one count is the baseline at every count.
+func (c *BaselineCache) Baseline(ctx context.Context, cfg config.Config, mix workload.Mix, epochs, shards int) (sim.Result, float64, error) {
 	key := baselineKey(cfg, mix.Name, epochs)
 
 	c.mu.Lock()
@@ -71,7 +76,7 @@ func (c *BaselineCache) Baseline(ctx context.Context, cfg config.Config, mix wor
 	c.misses++
 	c.mu.Unlock()
 
-	e.res, e.nonMem, e.err = runBaseline(ctx, cfg, mix, epochs)
+	e.res, e.nonMem, e.err = runBaseline(ctx, cfg, mix, epochs, shards)
 	if e.err != nil {
 		c.mu.Lock()
 		delete(c.entries, key)
@@ -92,12 +97,12 @@ func (c *BaselineCache) Stats() (hits, misses int) {
 
 // runBaseline executes one unmanaged run and calibrates the
 // rest-of-system power from it.
-func runBaseline(ctx context.Context, cfg config.Config, mix workload.Mix, epochs int) (sim.Result, float64, error) {
+func runBaseline(ctx context.Context, cfg config.Config, mix workload.Mix, epochs, shards int) (sim.Result, float64, error) {
 	streams, err := mix.Streams(&cfg)
 	if err != nil {
 		return sim.Result{}, 0, err
 	}
-	s, err := sim.New(cfg, streams, sim.Options{})
+	s, err := sim.New(cfg, streams, sim.Options{Shards: shards})
 	if err != nil {
 		return sim.Result{}, 0, err
 	}

@@ -59,7 +59,12 @@ func jobConfig(job Job) (cfg, base config.Config) {
 // snapshot at the epoch boundary. The snapshot may be forked into any
 // number of variant runs: sim.Restore copies every slice and map, so
 // parallel forks from one shared snapshot never race.
-func (e *Engine) WarmPrefix(ctx context.Context, cfg config.Config, mix workload.Mix, prefixEpochs int) (st *sim.SystemState, err error) {
+//
+// shards requests the sharded event engine for the prefix simulation;
+// the snapshot is the canonical serial image regardless of the count,
+// so forks taken from a sharded prefix are bit-identical to forks
+// taken from a serial one.
+func (e *Engine) WarmPrefix(ctx context.Context, cfg config.Config, mix workload.Mix, prefixEpochs, shards int) (st *sim.SystemState, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			st, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
@@ -73,7 +78,7 @@ func (e *Engine) WarmPrefix(ctx context.Context, cfg config.Config, mix workload
 	if err != nil {
 		return nil, err
 	}
-	s, err := sim.New(cfg, streams, sim.Options{})
+	s, err := sim.New(cfg, streams, sim.Options{Shards: shards})
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +149,7 @@ func (e *Engine) RunEachWarm(ctx context.Context, jobs []Job, prefixEpochs int) 
 	snapErrs := ForEach(ctx, e.workers, len(order), func(ctx context.Context, gi int) error {
 		g := groups[order[gi]]
 		cfg, _ := jobConfig(g.job)
-		snap, err := e.WarmPrefix(ctx, cfg, g.job.Mix, prefixEpochs)
+		snap, err := e.WarmPrefix(ctx, cfg, g.job.Mix, prefixEpochs, g.job.Shards)
 		snaps[gi] = snap
 		return err
 	}, nil)
@@ -220,7 +225,7 @@ func (e *Engine) RunWithCheckpoint(ctx context.Context, job Job, ckEpoch int) (o
 	}
 
 	cfg, baseCfg := jobConfig(job)
-	base, nonMem, err := e.cache.Baseline(ctx, baseCfg, job.Mix, job.Epochs)
+	base, nonMem, err := e.cache.Baseline(ctx, baseCfg, job.Mix, job.Epochs, job.Shards)
 	if err != nil {
 		return Outcome{}, nil, err
 	}
@@ -300,12 +305,13 @@ func (e *Engine) runCheckpointAttempt(ctx context.Context, job Job, cfg config.C
 		rec.GammaBound.Set(cfg.Policy.Gamma)
 	}
 	s, err := sim.New(cfg, streams, sim.Options{
-		Governor:     gov,
-		NonMemPower:  nonMem,
-		KeepTimeline: job.Timeline,
-		Telemetry:    rec,
-		Faults:       inj,
-		Shards:       job.Shards,
+		Governor:         gov,
+		NonMemPower:      nonMem,
+		KeepTimeline:     job.Timeline,
+		Telemetry:        rec,
+		Faults:           inj,
+		Shards:           job.Shards,
+		ShardGranularity: job.ShardGranularity,
 	})
 	if err != nil {
 		return Outcome{}, nil, 0, err
@@ -350,7 +356,7 @@ func (e *Engine) runCheckpointAttempt(ctx context.Context, job Job, cfg config.C
 		return Outcome{}, nil, 0, fmt.Errorf("runner: run ended before checkpoint epoch %d", ckEpoch)
 	}
 
-	out := Outcome{Res: res}
+	out := Outcome{Res: res, Shards: s.ParallelShards()}
 	if rec != nil {
 		apps := make([]string, cfg.Cores)
 		for i := range apps {
@@ -454,7 +460,7 @@ func (e *Engine) Resume(ctx context.Context, rj ResumeJob) (out Outcome, err err
 		retries = ck.Meta.Faults.WithDefaults().MaxRunRetries
 	}
 
-	base, nonMem, err := e.cache.Baseline(ctx, ck.Base, mix, rj.Epochs)
+	base, nonMem, err := e.cache.Baseline(ctx, ck.Base, mix, rj.Epochs, rj.Shards)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -537,7 +543,7 @@ func (e *Engine) resumeAttempt(ctx context.Context, rj ResumeJob, spec policies.
 		}
 		return Outcome{}, err
 	}
-	out := Outcome{Res: res}
+	out := Outcome{Res: res, Shards: s.ParallelShards()}
 	if rec != nil {
 		apps := make([]string, cfg.Cores)
 		for i := range apps {

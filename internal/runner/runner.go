@@ -69,13 +69,17 @@ type Job struct {
 	// Cores and Channels, when positive, override the machine shape.
 	Cores, Channels int
 
-	// Shards, when > 1, requests the channel-sharded parallel event
-	// engine for the managed run (sim.Options.Shards). The run is
-	// bit-identical to the serial engine at any shard count; the engine
+	// Shards, when > 1, requests the sharded parallel event engine for
+	// both the managed run and its memoized baseline
+	// (sim.Options.Shards). Every run is bit-identical to the serial
+	// engine at any shard count — telemetry included — and the engine
 	// falls back to serial when the workload or governor is ineligible.
-	// The baseline is always simulated serially — it is memoized and
-	// shared, and sharding would not change its result.
 	Shards int
+
+	// ShardGranularity selects the engine's confinement analysis
+	// (sim.Options.ShardGranularity): "" or "bank" for confinement
+	// groups, "channel" for PR 9's strict per-channel rule.
+	ShardGranularity string
 
 	// Mutate, when non-nil, edits the configuration after the fields
 	// above are applied and before the policy's own Configure hook;
@@ -137,6 +141,12 @@ type Outcome struct {
 	// Attempts is how many times the managed run executed: 1 plus the
 	// retries consumed by injected transient faults.
 	Attempts int
+
+	// Shards is the shard count the managed run's event engine actually
+	// used (sim.System.ParallelShards): 1 for the serial engine —
+	// whether by request or by eligibility fallback — and the resolved
+	// count under the sharded engine.
+	Shards int
 }
 
 // SystemEnergy returns the full-system energy of r using the
@@ -286,7 +296,7 @@ func (e *Engine) Run(ctx context.Context, job Job) (out Outcome, err error) {
 	}
 
 	cfg, baseCfg := jobConfig(job)
-	base, nonMem, err := e.cache.Baseline(ctx, baseCfg, job.Mix, job.Epochs)
+	base, nonMem, err := e.cache.Baseline(ctx, baseCfg, job.Mix, job.Epochs, job.Shards)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -347,12 +357,13 @@ func (e *Engine) runAttempt(ctx context.Context, job Job, cfg config.Config, non
 		rec.GammaBound.Set(cfg.Policy.Gamma)
 	}
 	opts := sim.Options{
-		Governor:     gov,
-		NonMemPower:  nonMem,
-		KeepTimeline: job.Timeline,
-		Telemetry:    rec,
-		Faults:       inj,
-		Shards:       job.Shards,
+		Governor:         gov,
+		NonMemPower:      nonMem,
+		KeepTimeline:     job.Timeline,
+		Telemetry:        rec,
+		Faults:           inj,
+		Shards:           job.Shards,
+		ShardGranularity: job.ShardGranularity,
 	}
 	var s *sim.System
 	if job.Warm != nil {
@@ -373,7 +384,7 @@ func (e *Engine) runAttempt(ctx context.Context, job Job, cfg config.Config, non
 		}
 		return Outcome{}, err
 	}
-	out := Outcome{Res: res}
+	out := Outcome{Res: res, Shards: s.ParallelShards()}
 	if rec != nil {
 		apps := make([]string, cfg.Cores)
 		for i := range apps {

@@ -28,12 +28,39 @@ func buildConfinedStreams(t *testing.T, cfg *config.Config, profiles []trace.Pro
 	return streams
 }
 
+// buildInterleavedStreams is buildStreams with OS page placement
+// striping core i across its own 2-channel group (channels [g*2, g*2+2)
+// with g = i mod Channels/2) — the interleaved shape whose confinement
+// groups the bank-granularity analysis discovers. No stream is
+// channel-confined, so the strict per-channel rule refuses it.
+func buildInterleavedStreams(t *testing.T, cfg *config.Config, profiles []trace.Profile, seed uint64) []*trace.Stream {
+	t.Helper()
+	if cfg.Channels%2 != 0 {
+		t.Fatalf("%d channels not divisible by interleave width 2", cfg.Channels)
+	}
+	groups := cfg.Channels / 2
+	mapper := config.NewAddressMapper(cfg)
+	streams := make([]*trace.Stream, len(profiles))
+	for i, p := range profiles {
+		g := i % groups
+		s, err := trace.NewStreamOnChannels(p, mapper, seed+uint64(i)*0x9e3779b97f4a7c15,
+			[]int{g * 2, g*2 + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = s
+	}
+	return streams
+}
+
 // TestShardSerialFallback pins the engine's eligibility rules: a
-// workload with any unconfined stream, a telemetry recorder, or a
-// per-channel governor must silently run serially even when Shards > 1
-// (zero lookahead between shards makes those cases impossible to run
+// workload whose channel-affinity sets collapse into one confinement
+// group (any stream roaming every channel does it), or a per-channel
+// governor, must silently run serially even when Shards > 1 (zero
+// lookahead between shards makes those cases impossible to run
 // bit-identically in parallel), and ParallelShards reports the engine
-// actually in use.
+// actually in use. Telemetry is NOT a fallback cause: the recorder's
+// per-channel cells are shard-local and merge at window edges.
 func TestShardSerialFallback(t *testing.T) {
 	cfg := config.Default()
 	cfg.Cores = 4
@@ -67,6 +94,28 @@ func TestShardSerialFallback(t *testing.T) {
 			t.Errorf("ParallelShards() = %d for confined streams, want 4", got)
 		}
 	})
+	t.Run("group-interleaved workload engages at group count", func(t *testing.T) {
+		s, err := New(cfg, buildInterleavedStreams(t, &cfg, profiles, 1), Options{
+			Governor: &ladderGovernor{}, Shards: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.ParallelShards(); got != 2 {
+			t.Errorf("ParallelShards() = %d for 2-channel groups, want 2", got)
+		}
+	})
+	t.Run("channel granularity refuses group-interleaved", func(t *testing.T) {
+		s, err := New(cfg, buildInterleavedStreams(t, &cfg, profiles, 1), Options{
+			Governor: &ladderGovernor{}, Shards: 4, ShardGranularity: ShardByChannel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.ParallelShards(); got != 1 {
+			t.Errorf("ParallelShards() = %d under ShardByChannel, want 1", got)
+		}
+	})
 	t.Run("shards clamp to channels", func(t *testing.T) {
 		cfg := cfg
 		cfg.Channels = 2
@@ -94,20 +143,24 @@ func TestShardSerialFallback(t *testing.T) {
 }
 
 // FuzzShardEquivalence is the parallel engine's core contract under
-// adversarial inputs: for any channel-partitioned workload shape, shard
-// count, and refresh-storm schedule, the sharded run must be equivalent
-// to the serial run request for request — identical MC counters
-// (every request saw the same bank state, queue depth, and row-buffer
-// outcome), identical per-core CPI, energy, residency, fault counts,
-// and fired-event total. GOMAXPROCS does not matter for the property:
-// the window protocol is deterministic, not scheduling-dependent.
+// adversarial inputs: for any channel-partitioned or group-interleaved
+// workload shape, shard count, and refresh-storm schedule, the sharded
+// run must be equivalent to the serial run request for request —
+// identical MC counters (every request saw the same bank state, queue
+// depth, and row-buffer outcome), identical per-core CPI, energy,
+// residency, fault counts, and fired-event total. GOMAXPROCS does not
+// matter for the property: the window protocol is deterministic, not
+// scheduling-dependent. The low bit of the placement byte picks
+// channel-confined (PR 9's shape) or 2-channel group-interleaved
+// streams (the §4l shape, where no stream has a home channel).
 func FuzzShardEquivalence(f *testing.F) {
-	f.Add(uint64(1), 30.0, 0.2, 8.0, 0.7, uint8(2), uint8(1))
-	f.Add(uint64(42), 55.0, 0.0, 20.0, 0.2, uint8(4), uint8(3))
-	f.Add(uint64(7), 5.0, 4.9, 0.1, 0.95, uint8(3), uint8(0))
+	f.Add(uint64(1), 30.0, 0.2, 8.0, 0.7, uint8(2), uint8(1), uint8(0))
+	f.Add(uint64(42), 55.0, 0.0, 20.0, 0.2, uint8(4), uint8(3), uint8(0))
+	f.Add(uint64(7), 5.0, 4.9, 0.1, 0.95, uint8(3), uint8(0), uint8(1))
+	f.Add(uint64(1789), 25.0, 1.5, 4.0, 0.5, uint8(2), uint8(2), uint8(1))
 
 	f.Fuzz(func(t *testing.T, seed uint64, burstMPKI, idleMPKI, wbFrac, rowLoc float64,
-		shards, storms uint8) {
+		shards, storms, placement uint8) {
 
 		clamp := func(v, lo, hi float64) float64 {
 			if math.IsNaN(v) || v < lo {
@@ -148,12 +201,16 @@ func FuzzShardEquivalence(f *testing.F) {
 			RefreshStormBursts: 1 + int(storms)%4,
 		}
 
+		build := buildConfinedStreams
+		if placement%2 == 1 {
+			build = buildInterleavedStreams
+		}
 		run := func(n int) (Result, interface{}) {
 			inj, err := faults.New(fc, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			s, err := New(cfg, buildConfinedStreams(t, &cfg, profiles, seed), Options{
+			s, err := New(cfg, build(t, &cfg, profiles, seed), Options{
 				Governor: &ladderGovernor{},
 				Faults:   inj,
 				Shards:   n,

@@ -127,11 +127,10 @@ func (s *System) shardOf(mc *memctrl.ControllerState) event.ShardOf {
 			if owner < 0 || int(owner) >= len(s.Cores) {
 				return 0, fmt.Errorf("sim: cpu.issue event names core %d outside [0,%d)", owner, len(s.Cores))
 			}
-			home, ok := s.Cores[owner].Stream().HomeChannel()
-			if !ok {
-				return 0, fmt.Errorf("sim: core %d stream is not channel-confined", owner)
-			}
-			ch = home
+			// The shard plan bound the core to its confinement group's
+			// shard; reuse the binding directly rather than re-deriving
+			// it from the stream's placement.
+			return s.coreShard[owner], nil
 		default:
 			return 0, fmt.Errorf("sim: event kind %q has no shard assignment", kind)
 		}

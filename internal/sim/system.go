@@ -187,47 +187,134 @@ type Options struct {
 	// exists for differential testing and debugging, not correctness.
 	DisableCoalescing bool
 
-	// Shards requests the channel-sharded parallel event engine
-	// (DESIGN.md §4k): the memory channels — and the cores bound to
-	// them — split across up to Shards event queues that advance
-	// concurrently inside each conservative window. 0 or 1 runs the
-	// serial engine. Sharding engages only when it is provably
-	// bit-identical to the serial engine: every core's stream must be
-	// confined to one channel (a partitioned mix), the governor must be
-	// uniform (not per-channel), and no telemetry recorder may be
-	// attached; otherwise the run silently falls back to serial. The
-	// effective shard count is capped at the channel count.
+	// Shards requests the sharded parallel event engine (DESIGN.md
+	// §4k/§4l): the memory channels — and the cores bound to them —
+	// split across up to Shards event queues that advance concurrently
+	// inside each conservative window. 0 or 1 runs the serial engine.
+	// Sharding engages only when it is provably bit-identical to the
+	// serial engine: the streams' channel-affinity sets must split into
+	// at least two confinement groups (connected components), and the
+	// governor must be uniform (not per-channel); otherwise the run
+	// silently falls back to serial. Telemetry is fully supported: the
+	// recorder's per-channel cells record lock-free inside windows and
+	// merge deterministically at window edges, so instrumented sharded
+	// runs export byte-identical streams to instrumented serial runs.
+	// The effective shard count is capped at the confinement-group
+	// count.
 	Shards int
+
+	// ShardGranularity selects the confinement analysis the engine
+	// uses to partition channels into shards. "" (auto) and
+	// ShardByBank run the confinement-group analysis: streams'
+	// channel-affinity sets union into connected components — the
+	// finest sound partition, since banks of one channel share its bus
+	// and can never split (DESIGN.md §4l). ShardByChannel restricts to
+	// PR 9's strict per-channel sharding: every stream must be
+	// confined to a single channel, or the run falls back to serial.
+	ShardGranularity string
 
 	// DisableParallel forces the serial engine regardless of Shards —
 	// the differential switch mirroring DisableCoalescing.
 	DisableParallel bool
 }
 
-// parallelShards resolves the effective shard count for a run: the
-// requested count capped at the channel count when every eligibility
-// condition holds, 1 (serial) otherwise. The conditions are exactly
-// the proof obligations of DESIGN.md §4k: channel-confined streams
-// make every event shard-local, a uniform governor keeps the MC clock
-// replicas coherent, and no telemetry keeps the hot paths free of
-// shared observers.
-func parallelShards(cfg *config.Config, streams []*trace.Stream, opts Options) int {
-	if opts.Shards <= 1 || opts.DisableParallel || opts.Telemetry != nil {
-		return 1
+// ShardGranularity values for Options.ShardGranularity and the public
+// RunConfig knob.
+const (
+	// ShardByChannel requires every stream channel-confined (a
+	// partitioned mix) and shards channel-by-channel, exactly as PR 9.
+	ShardByChannel = "channel"
+
+	// ShardByBank is the finest sound granularity: confinement groups
+	// of channels (banks within a channel share the bus and collapse
+	// into its group). Interleaved placements that stripe applications
+	// across channel groups shard at group boundaries.
+	ShardByBank = "bank"
+)
+
+// planShards resolves the run's shard plan: the effective shard count
+// plus the channel→shard and core→shard bindings, or (1, nil, nil)
+// for the serial engine. The plan's proof obligations are DESIGN.md
+// §4k extended by §4l's confinement-group analysis: streams'
+// channel-affinity sets union into connected components, every
+// component's channels and cores bind to one shard (so every event is
+// shard-local), and a uniform governor keeps the MC clock replicas
+// coherent. Telemetry no longer blocks eligibility — the recorder's
+// per-channel cells are shard-local and merge at window edges. Under
+// ShardByChannel the analysis restricts to PR 9's strict rule: every
+// stream must be confined to a single channel. A fully interleaved
+// placement (one component) falls back to serial: with zero lookahead
+// and global same-instant tie-breaks there is no sound split.
+func planShards(cfg *config.Config, streams []*trace.Stream, opts Options) (int, []int, []int) {
+	if opts.Shards <= 1 || opts.DisableParallel {
+		return 1, nil, nil
 	}
 	if _, perChannel := opts.Governor.(PerChannelGovernor); perChannel {
-		return 1
+		return 1, nil, nil
 	}
-	for _, st := range streams {
-		if _, ok := st.HomeChannel(); !ok {
-			return 1
+	if opts.ShardGranularity == ShardByChannel {
+		for _, st := range streams {
+			if _, ok := st.HomeChannel(); !ok {
+				return 1, nil, nil
+			}
 		}
 	}
-	n := opts.Shards
-	if n > cfg.Channels {
-		n = cfg.Channels
+	// Union-find over channels: two channels shared by one stream's
+	// affinity set must land in the same shard. A stream with no
+	// affinity set roams every channel, collapsing all into one
+	// component.
+	parent := make([]int, cfg.Channels)
+	for i := range parent {
+		parent[i] = i
 	}
-	return n
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, st := range streams {
+		chs := st.Channels()
+		if len(chs) == 0 {
+			return 1, nil, nil
+		}
+		for _, ch := range chs[1:] {
+			ra, rb := find(chs[0]), find(ch)
+			if ra != rb {
+				if rb < ra {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+			}
+		}
+	}
+	// Number components by their smallest channel (ascending scan), so
+	// the all-singleton case reduces exactly to PR 9's ch % n map.
+	comp := make([]int, cfg.Channels)
+	ncomp := 0
+	for ch := 0; ch < cfg.Channels; ch++ {
+		if find(ch) == ch {
+			comp[ch] = ncomp
+			ncomp++
+		}
+	}
+	if ncomp < 2 {
+		return 1, nil, nil
+	}
+	n := opts.Shards
+	if n > ncomp {
+		n = ncomp
+	}
+	chShard := make([]int, cfg.Channels)
+	for ch := range chShard {
+		chShard[ch] = comp[find(ch)] % n
+	}
+	coreShard := make([]int, len(streams))
+	for i, st := range streams {
+		coreShard[i] = chShard[st.Channels()[0]]
+	}
+	return n, chShard, coreShard
 }
 
 // System is one fully wired simulated server.
@@ -258,12 +345,14 @@ type System struct {
 	// name the pending bursts.
 	onForceRefresh event.Bound
 
-	// shards is the channel-sharded parallel event engine (nil when the
-	// serial engine is in force); chShard maps each memory channel to
-	// its owning shard. Under the sharded engine s.Q aliases shard 0,
+	// shards is the sharded parallel event engine (nil when the serial
+	// engine is in force); chShard maps each memory channel to its
+	// owning shard and coreShard each core to the shard of its
+	// confinement group. Under the sharded engine s.Q aliases shard 0,
 	// whose clock equals every other shard's at window edges.
-	shards  *event.ShardSet
-	chShard []int
+	shards    *event.ShardSet
+	chShard   []int
+	coreShard []int
 
 	// pendingStorms holds refresh-storm bursts registered at an epoch
 	// edge but not yet fired. Under the sharded engine a burst touches
@@ -314,12 +403,10 @@ func New(cfg config.Config, streams []*trace.Stream, opts Options) (*System, err
 		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), cfg.Cores)
 	}
 	s := &System{Cfg: cfg, opts: opts}
-	if n := parallelShards(&s.Cfg, streams, opts); n > 1 {
+	if n, chShard, coreShard := planShards(&s.Cfg, streams, opts); n > 1 {
 		s.shards = event.NewShardSet(n)
-		s.chShard = make([]int, s.Cfg.Channels)
-		for ch := range s.chShard {
-			s.chShard[ch] = ch % n
-		}
+		s.chShard = chShard
+		s.coreShard = coreShard
 		s.Q = s.shards.Shard(0)
 	} else {
 		s.Q = &event.Queue{}
@@ -342,11 +429,10 @@ func New(cfg config.Config, streams []*trace.Stream, opts Options) (*System, err
 	for i, st := range streams {
 		q := s.Q
 		if s.shards != nil {
-			// Eligibility proved the stream channel-confined; the core
-			// schedules on — and its data returns arrive via — its home
-			// channel's shard.
-			home, _ := st.HomeChannel()
-			q = s.shards.Shard(s.chShard[home])
+			// The plan proved the stream confined to one confinement
+			// group; the core schedules on — and its data returns arrive
+			// via — that group's shard.
+			q = s.shards.Shard(s.coreShard[i])
 		}
 		s.Cores = append(s.Cores, cpu.New(i, &s.Cfg, q, s.MC, st))
 	}
@@ -436,6 +522,10 @@ func (s *System) flush(now config.Time) (power.Interval, power.Breakdown) {
 // window snapshots counter/instruction deltas since the last call and
 // pairs them with the flushed power interval.
 func (s *System) window(start, now config.Time, freq config.FreqMHz) Profile {
+	// Every window call sits at a window edge — the shards (or the
+	// serial queue) are quiescent — so fold the per-channel telemetry
+	// cells into the run-wide collectors before anything else pushes.
+	s.opts.Telemetry.MergeChannels()
 	cur := s.MC.Counters()
 	instr := make([]float64, len(s.Cores))
 	for i, c := range s.Cores {
@@ -993,6 +1083,9 @@ func (s *System) snapshotEpoch(idx int, start, profEnd, epochEnd config.Time,
 }
 
 func (s *System) finalize() Result {
+	// Safety merge: the last epoch's window calls drained the cells
+	// already, but a run abandoned mid-epoch may hold staged samples.
+	s.opts.Telemetry.MergeChannels()
 	now := s.Q.Now()
 	r := &s.result
 	r.Duration = now

@@ -13,10 +13,15 @@
 //   - Zero interference. Telemetry observes the simulation and never
 //     feeds back into it: an instrumented run's event sequence is
 //     bit-identical to an uninstrumented one.
-//   - One recorder per run, one goroutine. The recorder is not
-//     concurrency-safe and does not need to be: the simulator is
-//     single-threaded, and the sweep engine gives every job its own
-//     recorder, aggregating exports only after the jobs finish.
+//   - One recorder per run, merged at window edges. The recorder's
+//     run-wide collectors are single-goroutine (the sweep engine gives
+//     every job its own recorder, aggregating exports only after the
+//     jobs finish). Per-channel telemetry is staged in ChannelCells —
+//     one per memory channel, each written by exactly one goroutine at
+//     a time even under the sharded engine — and folded back into the
+//     run-wide collectors deterministically at window edges
+//     (MergeChannels), so sharded and serial runs export byte-identical
+//     streams.
 //
 // The package sits below power/memctrl/sim in the import graph
 // (it imports only config and dram), so every layer can emit into it.
@@ -84,6 +89,10 @@ type Recorder struct {
 	duration  config.Time
 	energy    Energy
 	residency dram.Account
+
+	// cells are the per-channel staging replicas the memory controller
+	// records into; MergeChannels folds them back at window edges.
+	cells []*ChannelCell
 
 	epochs []EpochSnapshot
 }
@@ -292,8 +301,9 @@ func (r *Recorder) ObserveReadLatency(d config.Time) {
 	r.ReadLatencyNs.Observe(d.Nanoseconds())
 }
 
-// ObserveQueueDepth records the controller-wide outstanding request
-// count seen by an arriving request.
+// ObserveQueueDepth records an outstanding-request count seen by an
+// arriving request. The controller feeds the per-channel depth through
+// its ChannelCells; this run-wide entry point remains for direct use.
 func (r *Recorder) ObserveQueueDepth(depth int) {
 	if r == nil {
 		return

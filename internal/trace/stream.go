@@ -164,6 +164,15 @@ func (s *Stream) HomeChannel() (int, bool) {
 	return s.channels[0], true
 }
 
+// Channels returns the stream's channel-affinity set in ascending
+// placement order, or nil when the stream roams all channels. The
+// sharded engine's confinement-group analysis (DESIGN.md §4l) unions
+// these sets into connected components to find the finest sound shard
+// partition for interleaved placements.
+func (s *Stream) Channels() []int {
+	return append([]int(nil), s.channels...)
+}
+
 // SetIntensity scales the stream's effective memory pressure: the
 // active phase's MPKI is multiplied by m from the next access on, so
 // m > 1 packs misses closer together (heavier offered load) and m < 1

@@ -46,7 +46,7 @@ import (
 )
 
 // Version of the library.
-const Version = "1.2.0"
+const Version = "1.3.0"
 
 // Typed sentinel errors. Failures wrap these with %w, so callers can
 // classify them with errors.Is regardless of message detail:
@@ -129,17 +129,31 @@ type RunConfig struct {
 	// memory channel (OS page placement; application i maps to channel
 	// i mod Channels). Partitioned runs draw the same per-core traces
 	// as the unpartitioned mix — placement, not content, differs — and
-	// are the workload shape the sharded parallel engine requires.
+	// give the sharded parallel engine its finest partition (one shard
+	// per channel). Sharding no longer requires it: any workload whose
+	// channel-affinity sets split into more than one confinement group
+	// parallelizes (see Shards).
 	Partitioned bool
 
-	// Shards, when > 1, runs the managed simulation on the
-	// channel-sharded parallel event engine: up to Shards event queues
-	// advance concurrently inside conservative time windows, producing
-	// results bit-identical to the serial engine. Sharding engages only
-	// for partitioned, channel-confined workloads under a uniform
-	// governor; other runs silently fall back to serial. 0 or 1 selects
-	// the serial engine. Must not exceed the channel count.
+	// Shards, when > 1, runs the simulation (managed run and baseline
+	// alike) on the sharded parallel event engine: up to Shards event
+	// queues advance concurrently inside conservative time windows,
+	// producing results — telemetry included — bit-identical to the
+	// serial engine. The engine partitions channels into confinement
+	// groups from the mix's placement (per-channel for partitioned
+	// mixes, per channel group for interleaved "<mix>/ilvK" variants)
+	// and falls back to serial when fewer than two groups exist or the
+	// governor is per-channel. 0 or 1 selects the serial engine. Must
+	// not exceed the channel count.
 	Shards int
+
+	// ShardGranularity selects how the engine partitions the workload
+	// when Shards > 1: "" and "bank" run the confinement-group analysis
+	// (the finest sound granularity — banks of one channel share the
+	// bus, so a channel is never split), "channel" restricts sharding
+	// to fully channel-confined workloads (every stream pinned to one
+	// channel), the pre-1.3 rule.
+	ShardGranularity string
 
 	// Timeline retains per-epoch frequency/CPI records.
 	Timeline bool
@@ -320,6 +334,12 @@ func (rc RunConfig) Validate() error {
 				ErrInvalidConfig, ch, rc.Shards)
 		}
 	}
+	switch rc.ShardGranularity {
+	case "", "channel", "bank":
+	default:
+		return fmt.Errorf("%w: shard_granularity: must be \"\", %q, or %q, got %q",
+			ErrInvalidConfig, "channel", "bank", rc.ShardGranularity)
+	}
 	if err := rc.Faults.validate("faults"); err != nil {
 		return err
 	}
@@ -432,16 +452,17 @@ func (rc RunConfig) job() (runner.Job, error) {
 		return runner.Job{}, err
 	}
 	return runner.Job{
-		Mix:       mix,
-		Spec:      spec,
-		Epochs:    rc.Epochs,
-		Gamma:     rc.Gamma,
-		Cores:     rc.Cores,
-		Channels:  rc.Channels,
-		Shards:    rc.Shards,
-		Timeline:  rc.Timeline,
-		Telemetry: rc.Telemetry.options(),
-		Faults:    rc.Faults.internal(),
+		Mix:              mix,
+		Spec:             spec,
+		Epochs:           rc.Epochs,
+		Gamma:            rc.Gamma,
+		Cores:            rc.Cores,
+		Channels:         rc.Channels,
+		Shards:           rc.Shards,
+		ShardGranularity: rc.ShardGranularity,
+		Timeline:         rc.Timeline,
+		Telemetry:        rc.Telemetry.options(),
+		Faults:           rc.Faults.internal(),
 	}, nil
 }
 
@@ -511,6 +532,12 @@ type RunSummary struct {
 	// accounting, slack ledger bounds); a violated invariant fails the
 	// run with an error matching ErrInvariant instead.
 	InvariantChecks uint64
+
+	// EngineShards is the shard count the managed run's event engine
+	// actually used: 1 for the serial engine (requested or fallen back
+	// to), the resolved confinement-group count under the sharded
+	// engine. Always 1 when RunConfig.Shards <= 1.
+	EngineShards int
 }
 
 // Mixes returns the Table 1 workload names.
@@ -521,6 +548,14 @@ func Mixes() []string { return workload.Names() }
 // equivalent to setting RunConfig.Partitioned on the base mix. This is
 // how fleet node groups request partitioned workloads (NodeGroup.Mix).
 const PartitionedSuffix = workload.PartitionedSuffix
+
+// InterleavePrefix introduces a mix's interleaved placement variant:
+// "MEM1" + InterleavePrefix + "2" = "MEM1/ilv2" spreads each
+// application across a private group of 2 channels (K must divide the
+// channel count). Interleaved mixes are genuinely unpartitioned — each
+// stream roams its whole group — yet still parallelize on the sharded
+// engine, one shard per channel group.
+const InterleavePrefix = workload.InterleavePrefix
 
 // Policies returns the scheme names accepted by RunConfig.Policy.
 func Policies() []string { return policies.Names() }
@@ -588,6 +623,7 @@ func summarize(out runner.Outcome) RunSummary {
 	sum.Attempts = out.Attempts
 	sum.Events = res.Events
 	sum.InvariantChecks = res.InvariantChecks
+	sum.EngineShards = out.Shards
 	return sum
 }
 
